@@ -1,0 +1,102 @@
+//! Minimal flag parsing for the CLI (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    opts: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of argument strings (excluding argv[0]).
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = argv.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.opts.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument {a:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Value of `--key`, if provided.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Value of `--key` or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric value of `--key` or a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a boolean `--flag` was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn parses_command_opts_and_flags() {
+        let a = parse("train --profile beauty --epochs 12 --verbose");
+        assert_eq!(a.command.as_deref(), Some("train"));
+        assert_eq!(a.get("profile"), Some("beauty"));
+        assert_eq!(a.get_parse("epochs", 0usize).unwrap(), 12);
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("stats");
+        assert_eq!(a.get_or("profile", "beauty"), "beauty");
+        assert_eq!(a.get_parse("dim", 16usize).unwrap(), 16);
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse("train --epochs abc");
+        assert!(a.get_parse("epochs", 0usize).is_err());
+    }
+
+    #[test]
+    fn rejects_extra_positionals() {
+        assert!(Args::parse(["a".to_string(), "b".to_string()]).is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("train --quick --full");
+        assert!(a.has_flag("quick") && a.has_flag("full"));
+    }
+}

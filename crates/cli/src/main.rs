@@ -1,0 +1,246 @@
+//! `ssdrec` — the workspace CLI.
+//!
+//! ```text
+//! ssdrec stats     [--profile NAME | --file PATH --format movielens|csv] [--scale F]
+//! ssdrec train     [--profile NAME | --file PATH --format F] [--backbone B] [--dim D]
+//!                  [--epochs E] [--batch-size B] [--max-len L] [--seed S]
+//!                  [--baseline] [--out CKPT] [--verbose]
+//! ssdrec recommend --model CKPT --user U [--k K] (same data/arch flags as train)
+//! ssdrec denoise   (same data/arch flags as train) [--user U]
+//! ```
+//!
+//! `--baseline` trains the bare backbone instead of wrapping it in SSDRec.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::Args;
+use ssdrec_core::{SsdRec, SsdRecConfig};
+use ssdrec_data::{load_interactions, prepare, Dataset, LoadOptions, Split, SyntheticConfig};
+use ssdrec_denoise::Denoiser;
+use ssdrec_graph::{build_graph, GraphConfig, MultiRelationGraph};
+use ssdrec_models::{train, BackboneKind, RecModel, SeqRec, TrainConfig};
+use ssdrec_tensor::{load_params, save_params};
+
+fn usage() -> &'static str {
+    "usage: ssdrec <stats|train|recommend|denoise> [options]\n\
+     run `ssdrec <command> --help`-style flags per the module docs; common options:\n\
+     --profile beauty|sports|yelp|ml-100k|ml-1m   synthetic profile (default beauty)\n\
+     --file PATH --format movielens|csv           load real interaction data instead\n\
+     --backbone SASRec|GRU4Rec|NARM|STAMP|Caser|BERT4Rec (default SASRec)\n\
+     --dim D --epochs E --batch-size B --max-len L --seed S\n\
+     --baseline      train the bare backbone (no SSDRec wrapper)\n\
+     --out CKPT      write a checkpoint after training\n\
+     --model CKPT    checkpoint to load (recommend)\n\
+     --user U --k K  serving target (recommend)"
+}
+
+fn load_dataset(a: &Args) -> Result<Dataset, String> {
+    if let Some(path) = a.get("file") {
+        let opts = match a.get_or("format", "csv") {
+            "movielens" => LoadOptions::movielens(),
+            "csv" => LoadOptions::csv_triples(),
+            other => return Err(format!("unknown --format {other}")),
+        };
+        return load_interactions(path, &opts).map_err(|e| e.to_string());
+    }
+    let name = a.get_or("profile", "beauty");
+    let cfg = match name {
+        "beauty" => SyntheticConfig::beauty(),
+        "sports" => SyntheticConfig::sports(),
+        "yelp" => SyntheticConfig::yelp(),
+        "ml-100k" => SyntheticConfig::ml100k(),
+        "ml-1m" => SyntheticConfig::ml1m(),
+        other => return Err(format!("unknown --profile {other}")),
+    };
+    let scale: f64 = a.get_parse("scale", 0.5)?;
+    let seed: u64 = a.get_parse("seed", 7)?;
+    Ok(cfg.scaled(scale).with_seed(seed).generate())
+}
+
+fn backbone(a: &Args) -> Result<BackboneKind, String> {
+    let name = a.get_or("backbone", "SASRec");
+    BackboneKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown --backbone {name}"))
+}
+
+struct Prepared {
+    dataset: Dataset,
+    split: Split,
+    graph: MultiRelationGraph,
+    max_len: usize,
+}
+
+fn prepare_data(a: &Args) -> Result<Prepared, String> {
+    let raw = load_dataset(a)?;
+    let max_len: usize = a.get_parse("max-len", 50)?;
+    let (dataset, split) = prepare(&raw, max_len, 3);
+    if split.test.is_empty() {
+        return Err("no usable sequences after 5-core filtering".into());
+    }
+    let graph = build_graph(&dataset, &GraphConfig::default());
+    Ok(Prepared { dataset, split, graph, max_len })
+}
+
+fn build_ssdrec(a: &Args, prep: &Prepared) -> Result<SsdRec, String> {
+    let cfg = SsdRecConfig {
+        dim: a.get_parse("dim", 16)?,
+        max_len: prep.max_len,
+        backbone: backbone(a)?,
+        seed: a.get_parse("seed", 7)?,
+        ..SsdRecConfig::default()
+    };
+    Ok(SsdRec::new(&prep.graph, cfg))
+}
+
+fn train_config(a: &Args) -> Result<TrainConfig, String> {
+    Ok(TrainConfig {
+        epochs: a.get_parse("epochs", 15)?,
+        batch_size: a.get_parse("batch-size", 64)?,
+        patience: a.get_parse("patience", 5)?,
+        seed: a.get_parse("seed", 7)?,
+        verbose: a.has_flag("verbose"),
+        ..TrainConfig::default()
+    })
+}
+
+fn cmd_stats(a: &Args) -> Result<(), String> {
+    let ds = load_dataset(a)?;
+    println!("dataset     : {}", ds.name);
+    println!("users       : {}", ds.num_users);
+    println!("items       : {}", ds.num_items);
+    println!("actions     : {}", ds.num_actions());
+    println!("avg length  : {:.2}", ds.avg_len());
+    println!("sparsity    : {:.2}%", ds.sparsity());
+    let graph = build_graph(&ds, &GraphConfig::default());
+    println!("graph edges : {} (5 relation types)", graph.total_edges());
+    println!("
+{}", ssdrec_graph::GraphReport::new(&graph).to_table());
+    Ok(())
+}
+
+fn cmd_train(a: &Args) -> Result<(), String> {
+    let prep = prepare_data(a)?;
+    println!(
+        "data: {} items, {} train / {} valid / {} test examples",
+        prep.dataset.num_items,
+        prep.split.train.len(),
+        prep.split.valid.len(),
+        prep.split.test.len()
+    );
+    let tc = train_config(a)?;
+    let (name, test, store_snapshot) = if a.has_flag("baseline") {
+        let mut model = SeqRec::new(
+            backbone(a)?,
+            prep.dataset.num_items,
+            a.get_parse("dim", 16)?,
+            prep.max_len,
+            a.get_parse("seed", 7)?,
+        );
+        let report = train(&mut model, &prep.split, &tc);
+        (model.model_name(), report, model.store)
+    } else {
+        let mut model = build_ssdrec(a, &prep)?;
+        let report = train(&mut model, &prep.split, &tc);
+        (model.model_name(), report, model.store)
+    };
+    println!("model : {name}");
+    println!("epochs: {}", test.epochs_run);
+    println!("valid : {}", test.valid);
+    println!("test  : {}", test.test);
+    if let Some(out) = a.get("out") {
+        save_params(&store_snapshot, out).map_err(|e| e.to_string())?;
+        println!("checkpoint written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_recommend(a: &Args) -> Result<(), String> {
+    let prep = prepare_data(a)?;
+    let mut model = build_ssdrec(a, &prep)?;
+    if let Some(ckpt) = a.get("model") {
+        load_params(&mut model.store, ckpt).map_err(|e| e.to_string())?;
+        println!("loaded checkpoint {ckpt}");
+    } else {
+        return Err("recommend requires --model CKPT (train one with `ssdrec train --out ...`)".into());
+    }
+    let user: usize = a.get_parse("user", 0)?;
+    let k: usize = a.get_parse("k", 10)?;
+    let ex = prep
+        .split
+        .test
+        .iter()
+        .find(|e| e.user == user)
+        .ok_or_else(|| format!("user {user} has no test sequence"))?;
+    println!("user {user} history: {:?}", ex.seq);
+    println!("top-{k} recommendations:");
+    for (rank, (item, score)) in model.recommend(user, &ex.seq, k).iter().enumerate() {
+        let mark = if *item == ex.target { "  ← held-out next item" } else { "" };
+        println!("  {:>2}. item {:>5}  score {:+.4}{}", rank + 1, item, score, mark);
+    }
+    Ok(())
+}
+
+fn cmd_denoise(a: &Args) -> Result<(), String> {
+    let prep = prepare_data(a)?;
+    let mut model = build_ssdrec(a, &prep)?;
+    let tc = train_config(a)?;
+    println!("training SSDRec for denoising …");
+    train(&mut model, &prep.split, &tc);
+    let user: usize = a.get_parse("user", usize::MAX)?;
+    let mut shown = 0;
+    for ex in &prep.split.test {
+        if user != usize::MAX && ex.user != user {
+            continue;
+        }
+        let kept = model.keep_decisions(&ex.seq, ex.user);
+        let denoised: Vec<usize> = ex
+            .seq
+            .iter()
+            .zip(&kept)
+            .filter(|(_, &k)| k)
+            .map(|(&i, _)| i)
+            .collect();
+        if denoised.len() < ex.seq.len() {
+            println!("user {:>4}: {:?} → {:?}", ex.user, ex.seq, denoised);
+            shown += 1;
+        }
+        if shown >= 10 && user == usize::MAX {
+            break;
+        }
+    }
+    if shown == 0 {
+        println!("no sequences were modified (the denoiser kept everything)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("stats") => cmd_stats(&args),
+        Some("train") => cmd_train(&args),
+        Some("recommend") => cmd_recommend(&args),
+        Some("denoise") => cmd_denoise(&args),
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

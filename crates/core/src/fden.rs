@@ -1,0 +1,132 @@
+//! Pluggable `f_den` for stage 3 (paper Eq. 14: "we can use any denoising
+//! model").
+//!
+//! Two gates are provided:
+//!
+//! * [`FdenKind::Hsd`] — HSD's hierarchical inconsistency signals (the
+//!   paper's own experimental choice), and
+//! * [`FdenKind::AttentionGate`] — a DSAN-style gate: a learnable virtual
+//!   target attends over the sequence and each position's keep score is its
+//!   (sigmoid-squashed) attention affinity. Cheaper than the Bi-LSTM core
+//!   (no recurrence) and a useful ablation of how much the bidirectional
+//!   sequentiality signal matters.
+//!
+//! Both emit raw keep scores `B×T`; calibration, priors, sampling and
+//! masking are shared machinery in [`crate::denoise_stage`].
+
+use ssdrec_tensor::nn::Linear;
+use ssdrec_tensor::{Binding, Graph, ParamRef, ParamStore, Rng, Var};
+
+/// Which denoising gate stage 3 uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum FdenKind {
+    /// HSD's Bi-LSTM sequentiality × user-interest product (paper default).
+    #[default]
+    Hsd,
+    /// DSAN-style virtual-target attention gate.
+    AttentionGate,
+}
+
+/// The attention-gate `f_den`: keep score of position `t` is
+/// `σ(q·k_t/√d) · σ(h_t·e_u/√d)` — target-affinity × user-interest, with a
+/// learnable query (virtual target) and key projection.
+pub struct AttentionGate {
+    query: ParamRef,
+    wk: Linear,
+    dim: usize,
+}
+
+impl AttentionGate {
+    /// Build for representation width `d`.
+    pub fn new(store: &mut ParamStore, name: &str, d: usize, rng: &mut Rng) -> Self {
+        AttentionGate {
+            query: store.add_xavier(format!("{name}.query"), &[1, d], rng),
+            wk: Linear::new_no_bias(store, &format!("{name}.wk"), d, d, rng),
+            dim: d,
+        }
+    }
+
+    /// Raw keep scores `B×T` in `(0,1)`, same contract as
+    /// [`ssdrec_denoise::HsdCore::keep_probs`].
+    pub fn keep_probs(&self, g: &mut Graph, bind: &Binding, h_seq: Var, user: Var) -> Var {
+        const KEEP_PRIOR: f32 = 1.0;
+        let (b, t, d) = g.value(h_seq).dims3();
+        debug_assert_eq!(d, self.dim);
+        let scale = 1.0 / (d as f32).sqrt();
+
+        // Virtual-target affinity: σ(q·k_t/√d + prior).
+        let k = self.wk.forward(g, bind, h_seq); // B×T×d
+        let q = bind.var(self.query); // 1×d
+        let kt = g.transpose_last(k); // B×d×T
+        let aff = g.matmul(q, kt); // B×1×T
+        let aff = g.reshape(aff, &[b, t]);
+        let aff = g.scale(aff, scale);
+        let aff = g.add_scalar(aff, KEEP_PRIOR);
+        let s1 = g.sigmoid(aff);
+
+        // User interest, as in the HSD core.
+        let u3 = g.reshape(user, &[b, d, 1]);
+        let dots = g.matmul(h_seq, u3);
+        let dots = g.reshape(dots, &[b, t]);
+        let dots = g.scale(dots, scale);
+        let dots = g.add_scalar(dots, KEEP_PRIOR);
+        let s2 = g.sigmoid(dots);
+
+        g.mul(s1, s2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdrec_tensor::Tensor;
+
+    fn rand_seq(b: usize, t: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed(seed);
+        Tensor::new((0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[b, t, d])
+    }
+
+    #[test]
+    fn scores_shape_and_range() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(0);
+        let gate = AttentionGate::new(&mut store, "g", 8, &mut rng);
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let h = g.constant(rand_seq(2, 5, 8, 1));
+        let u = g.constant(rand_seq(1, 2, 8, 2).reshaped(&[2, 8]));
+        let p = gate.keep_probs(&mut g, &bind, h, u);
+        assert_eq!(g.value(p).shape(), &[2, 5]);
+        assert!(g.value(p).data().iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+
+    #[test]
+    fn gradients_reach_query_and_keys() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(3);
+        let gate = AttentionGate::new(&mut store, "g", 8, &mut rng);
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let h = g.constant(rand_seq(1, 4, 8, 4));
+        let u = g.constant(rand_seq(1, 1, 8, 5).reshaped(&[1, 8]));
+        let p = gate.keep_probs(&mut g, &bind, h, u);
+        let loss = g.sum_all(p);
+        let grads = g.backward(loss);
+        assert!(grads.get(bind.var(gate.query)).is_some());
+        assert!(grads.get(bind.var(gate.wk.weight())).is_some());
+    }
+
+    #[test]
+    fn different_positions_get_different_scores() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(6);
+        let gate = AttentionGate::new(&mut store, "g", 8, &mut rng);
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let h = g.constant(rand_seq(1, 6, 8, 7));
+        let u = g.constant(rand_seq(1, 1, 8, 8).reshaped(&[1, 8]));
+        let p = gate.keep_probs(&mut g, &bind, h, u);
+        let v = g.value(p).data();
+        assert!(v.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
+    }
+}

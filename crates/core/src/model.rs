@@ -1,0 +1,747 @@
+//! The full SSDRec model: three-stage self-augmented sequence denoising
+//! wrapped around any backbone (paper §III, Fig. 2).
+//!
+//! Training path: embeddings → **stage 1** global relation encoding →
+//! per-sequence representations `h_t = h_v + h_u/n_i` → **stage 2**
+//! self-augmentation (short sequences only, training only, §III-F) →
+//! **stage 3** hierarchical denoising (refine augmentations, mask noise in
+//! the raw sequence) → backbone `f_seq` → full-catalogue scoring against the
+//! relation-encoded item table.
+//!
+//! Each stage can be ablated independently (Table V's variants).
+
+use ssdrec_data::Batch;
+use ssdrec_graph::MultiRelationGraph;
+use ssdrec_models::{build_encoder, BackboneKind, RecModel, SeqEncoder};
+use ssdrec_tensor::nn::Embedding;
+use ssdrec_tensor::{Binding, Graph, ParamStore, Rng, Tensor, Var};
+
+use crate::augment::SelfAugmenter;
+use crate::denoise_stage::HierarchicalDenoiser;
+use crate::relation_encoder::{GlobalRelationEncoder, RelationAdjacency};
+
+/// SSDRec hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct SsdRecConfig {
+    /// Embedding width `d`.
+    pub dim: usize,
+    /// Maximum sequence length the backbone must support.
+    pub max_len: usize,
+    /// The backbone `f_seq` (paper plugs in all six of Table III).
+    pub backbone: BackboneKind,
+    /// Initial Gumbel temperature τ (paper searches 1e-2 … 1e3, Fig. 5).
+    pub tau: f32,
+    /// Multiplicative τ decay, applied every `anneal_every` steps.
+    pub tau_decay: f32,
+    /// Steps between anneals (paper: every 40 batches).
+    pub anneal_every: u64,
+    /// τ floor.
+    pub tau_min: f32,
+    /// Only sequences shorter than this are augmented (the paper inserts
+    /// "if the sequence is short").
+    pub aug_short_len: usize,
+    /// Stage-1 toggle (global relation encoder).
+    pub stage1: bool,
+    /// Use Eq. 2's directed attention in the relation encoder (`false` =
+    /// untyped mean aggregation, the DESIGN §6.2 ablation).
+    pub relation_attention: bool,
+    /// Stage-2 toggle (self-augmentation).
+    pub stage2: bool,
+    /// Stage-3 toggle (hierarchical denoising).
+    pub stage3: bool,
+    /// Dropout on embedded sequences during training.
+    pub dropout: f32,
+    /// Fraction of training epochs before stage-2 augmentation activates.
+    pub aug_warmup_frac: f64,
+    /// Context window for the graph-coherence prior (stage-1 knowledge
+    /// injected into the stage-3 gate).
+    pub coherence_window: usize,
+    /// Sharpness of the coherence prior `σ(κ·(c/mean − 1))`.
+    pub coherence_kappa: f32,
+    /// Relative keep threshold β for the stage-3 gate (drop positions with
+    /// score below `β · sequence mean`).
+    pub keep_beta: f32,
+    /// Calibration sharpness κ for the stage-3 gate.
+    pub keep_kappa: f32,
+    /// Which `f_den` gate stage 3 uses (paper: HSD; attention gate is the
+    /// cheap DSAN-style alternative).
+    pub fden: crate::fden::FdenKind,
+    /// Parameter-init / sampling seed.
+    pub seed: u64,
+}
+
+impl Default for SsdRecConfig {
+    fn default() -> Self {
+        SsdRecConfig {
+            dim: 32,
+            max_len: 50,
+            backbone: BackboneKind::SasRec,
+            tau: 1.0,
+            tau_decay: 0.98,
+            anneal_every: 40,
+            tau_min: 0.1,
+            aug_short_len: 25,
+            stage1: true,
+            relation_attention: true,
+            stage2: true,
+            stage3: true,
+            dropout: 0.1,
+            aug_warmup_frac: 0.34,
+            coherence_window: 3,
+            coherence_kappa: 2.0,
+            keep_beta: ssdrec_denoise::RELATIVE_KEEP_BETA,
+            keep_kappa: 8.0,
+            fden: crate::fden::FdenKind::Hsd,
+            seed: 20_24,
+        }
+    }
+}
+
+/// The assembled SSDRec model.
+pub struct SsdRec {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    item_emb: Embedding,
+    user_emb: Embedding,
+    relation: Option<GlobalRelationEncoder>,
+    augmenter: SelfAugmenter,
+    denoiser: HierarchicalDenoiser,
+    backbone: Box<dyn SeqEncoder>,
+    /// The multi-relation graph, retained for the stage-1 coherence prior
+    /// (present iff `cfg.stage1`).
+    coherence_graph: Option<MultiRelationGraph>,
+    /// Configuration used to build the model.
+    pub cfg: SsdRecConfig,
+    /// Current Gumbel temperature.
+    pub tau: f32,
+    steps: u64,
+    num_items: usize,
+    /// Whether stage-2 augmentation is currently active (it warms up after
+    /// `cfg.aug_warmup_frac` of training so the selectors operate on
+    /// meaningful representations).
+    aug_active: bool,
+}
+
+/// Pieces of the training forward pass the gate-supervision loss consumes.
+struct GateInfo {
+    /// Keep probabilities over raw positions (`B×T`).
+    probs: Var,
+    /// The raw sequence representations (`B×T×d`).
+    h_seq: Var,
+    /// The graph-coherence prior, if stage 1 is active.
+    prior: Option<Var>,
+}
+
+/// A per-example trace for the paper's Fig. 4 case study.
+#[derive(Clone, Debug)]
+pub struct CaseStudy {
+    /// The raw sequence.
+    pub seq: Vec<usize>,
+    /// Chosen augmentation position (None if the sequence was not short).
+    pub position: Option<usize>,
+    /// Inserted (left, right) item IDs.
+    pub inserted: Option<(usize, usize)>,
+    /// Final keep decision per raw position.
+    pub kept: Vec<bool>,
+    /// Score of the target item on the raw (un-denoised) sequence.
+    pub raw_score: f32,
+    /// Score of the target item on the augmented sequence (pre-denoising).
+    pub augmented_score: f32,
+    /// Score of the target item after denoising.
+    pub denoised_score: f32,
+}
+
+impl SsdRec {
+    /// Build SSDRec over a multi-relation graph built from the training data.
+    pub fn new(mg: &MultiRelationGraph, cfg: SsdRecConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(cfg.seed);
+        let d = cfg.dim;
+        let item_emb = Embedding::new(&mut store, "item", mg.num_items + 1, d, &mut rng);
+        let user_emb = Embedding::new(&mut store, "user", mg.num_users.max(1), d, &mut rng);
+        let relation = cfg.stage1.then(|| {
+            GlobalRelationEncoder::with_attention(
+                &mut store,
+                d,
+                RelationAdjacency::from_graph(mg),
+                cfg.relation_attention,
+                &mut rng,
+            )
+        });
+        let augmenter = SelfAugmenter::new(&mut store, "ssdrec.aug", d, &mut rng);
+        let denoiser = HierarchicalDenoiser::with_options(
+            &mut store,
+            "ssdrec.den",
+            d,
+            cfg.keep_beta,
+            cfg.keep_kappa,
+            cfg.fden,
+            &mut rng,
+        );
+        let backbone = build_encoder(cfg.backbone, &mut store, d, cfg.max_len + 2, &mut rng);
+        let tau = cfg.tau;
+        let coherence_graph = cfg.stage1.then(|| mg.clone());
+        SsdRec {
+            store,
+            item_emb,
+            user_emb,
+            relation,
+            augmenter,
+            denoiser,
+            backbone,
+            coherence_graph,
+            cfg,
+            tau,
+            steps: 0,
+            num_items: mg.num_items,
+            aug_active: false,
+        }
+    }
+
+    /// Number of real items.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// The graph-coherence keep prior for a batch (`B×T` constant in
+    /// `(0,1)`), or `None` when stage 1 is ablated. Per sequence, each
+    /// position's transitional coherence `c_t` (see
+    /// [`MultiRelationGraph::sequence_coherence`]) is normalised by the
+    /// sequence mean and squashed: `σ(κ·(c_t/mean − 1))` — items much less
+    /// coherent with their context than the sequence average get a low
+    /// prior. Sequences with zero coherence everywhere get a neutral 0.5.
+    fn coherence_prior(&self, g: &mut Graph, batch: &Batch) -> Option<Var> {
+        let graph = self.coherence_graph.as_ref()?;
+        let b = batch.len();
+        let t = batch.seq_len;
+        let kappa = self.cfg.coherence_kappa;
+        let mut data = Vec::with_capacity(b * t);
+        for i in 0..b {
+            let c = graph.sequence_coherence(batch.seq(i), self.cfg.coherence_window);
+            let mean: f32 = c.iter().sum::<f32>() / t.max(1) as f32;
+            if mean <= 1e-9 {
+                data.extend(std::iter::repeat_n(0.5, t));
+            } else {
+                data.extend(c.iter().map(|&ct| {
+                    let z = kappa * (ct / mean - 1.0);
+                    1.0 / (1.0 + (-z).exp())
+                }));
+            }
+        }
+        Some(g.constant(Tensor::new(data, &[b, t])))
+    }
+
+    /// Stage 1: relation-encoded (or raw) node tables.
+    fn tables(&self, g: &mut Graph, bind: &Binding) -> (Var, Var) {
+        let it = self.item_emb.table(bind);
+        let ut = self.user_emb.table(bind);
+        match &self.relation {
+            Some(enc) => {
+                let out = enc.forward(g, bind, it, ut);
+                (out.items, out.users)
+            }
+            None => (it, ut),
+        }
+    }
+
+    /// Build the informative item-representation sequence `H_S` with
+    /// `h_t = h_v + h_u / n_i` (paper §III-D).
+    fn sequence_reprs(&self, g: &mut Graph, items: Var, users: Var, batch: &Batch) -> (Var, Var) {
+        let b = batch.len();
+        let t = batch.seq_len;
+        let hv = g.embedding(items, &batch.items); // (B·T)×d
+        let hv = g.reshape(hv, &[b, t, self.cfg.dim]);
+        let hu = g.embedding(users, &batch.users); // B×d
+        let hu_scaled = g.scale(hu, 1.0 / t as f32);
+        let hu3 = g.stack_time(&vec![hu_scaled; t]);
+        let h_seq = g.add(hv, hu3);
+        (h_seq, hu)
+    }
+
+    /// Score a sequence representation against the relation-encoded item
+    /// table (pad masked).
+    fn score_repr(&self, g: &mut Graph, items_table: Var, h_s: Var) -> Var {
+        let tt = g.transpose_last(items_table);
+        let logits = g.matmul(h_s, tt);
+        let mut mask = Tensor::zeros(&[self.num_items + 1]);
+        mask.data_mut()[0] = -1e9;
+        let mv = g.constant(mask);
+        g.add_bcast(logits, mv)
+    }
+
+    /// Training forward: full three-stage pipeline; returns logits plus the
+    /// pieces the gate-supervision loss needs (keep probs, the raw sequence
+    /// representations, and the item table for target look-ups).
+    fn forward_train(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        rng: &mut Rng,
+    ) -> (Var, Option<GateInfo>, Var) {
+        let (items, users) = self.tables(g, bind);
+        let (mut h_seq, hu) = self.sequence_reprs(g, items, users, batch);
+        if self.cfg.dropout > 0.0 {
+            let mask = rng.dropout_mask(g.value(h_seq).len(), self.cfg.dropout);
+            h_seq = g.dropout_with_mask(h_seq, mask);
+        }
+
+        let prior = self.coherence_prior(g, batch);
+        let do_aug = self.cfg.stage2
+            && self.aug_active
+            && batch.seq_len < self.cfg.aug_short_len
+            && batch.seq_len >= 2;
+        let mut gate = None;
+        let h_in = if do_aug {
+            let aug = self.augmenter.augment(g, bind, rng, h_seq, items, self.tau);
+            if self.cfg.stage3 {
+                let (refined, _gl, _gr) = self.denoiser.refine(g, bind, h_seq, &aug);
+                let (denoised, probs) = self.denoiser.denoise_train(
+                    g,
+                    bind,
+                    rng,
+                    h_seq,
+                    refined,
+                    Some(aug.copy_matrix),
+                    hu,
+                    self.tau,
+                    prior,
+                );
+                gate = Some(GateInfo { probs, h_seq, prior });
+                denoised
+            } else {
+                // w/o stage 3: the refined/augmented sequence feeds the
+                // backbone directly (no noise removal).
+                let (refined, _, _) = self.denoiser.refine(g, bind, h_seq, &aug);
+                refined
+            }
+        } else if self.cfg.stage3 {
+            let (denoised, probs) =
+                self.denoiser.denoise_train(g, bind, rng, h_seq, h_seq, None, hu, self.tau, prior);
+            gate = Some(GateInfo { probs, h_seq, prior });
+            denoised
+        } else {
+            h_seq
+        };
+
+        let h_s = self.backbone.encode(g, bind, h_in);
+        (self.score_repr(g, items, h_s), gate, items)
+    }
+
+    /// Evaluation forward: no augmentation (paper §III-F), deterministic
+    /// denoising.
+    fn forward_eval(&self, g: &mut Graph, bind: &Binding, batch: &Batch) -> Var {
+        let (items, users) = self.tables(g, bind);
+        let (h_seq, hu) = self.sequence_reprs(g, items, users, batch);
+        let prior = self.coherence_prior(g, batch);
+        let h_in = if self.cfg.stage3 {
+            let (denoised, _) = self.denoiser.denoise_eval(g, bind, h_seq, hu, prior);
+            denoised
+        } else {
+            h_seq
+        };
+        let h_s = self.backbone.encode(g, bind, h_in);
+        self.score_repr(g, items, h_s)
+    }
+
+    /// Continuous keep probabilities over a raw sequence.
+    pub fn keep_scores_for(&self, seq: &[usize], user: usize) -> Vec<f32> {
+        let batch = Batch {
+            users: vec![user],
+            items: seq.to_vec(),
+            seq_len: seq.len(),
+            targets: vec![seq[seq.len() - 1]],
+            noise: None,
+        };
+        let mut g = Graph::new();
+        let bind = self.store.bind_all(&mut g);
+        let (items, users) = self.tables(&mut g, &bind);
+        let (h_seq, hu) = self.sequence_reprs(&mut g, items, users, &batch);
+        let mut probs = self.denoiser.raw_keep_probs(&mut g, &bind, h_seq, None, hu);
+        if let Some(p) = self.coherence_prior(&mut g, &batch) {
+            probs = g.mul(probs, p);
+        }
+        g.value(probs).data().to_vec()
+    }
+
+    /// Deterministic keep decisions over a raw sequence (for OUP / Fig. 1),
+    /// using the workspace's relative keep rule.
+    pub fn keep_decisions_for(&self, seq: &[usize], user: usize) -> Vec<bool> {
+        ssdrec_denoise::relative_keep(&self.keep_scores_for(seq, user), self.cfg.keep_beta)
+    }
+
+    /// Produce the Fig. 4 case-study trace for one example.
+    pub fn explain(&self, seq: &[usize], user: usize, target: usize, rng: &mut Rng) -> CaseStudy {
+        let batch = Batch {
+            users: vec![user],
+            items: seq.to_vec(),
+            seq_len: seq.len(),
+            targets: vec![target],
+            noise: None,
+        };
+        let mut g = Graph::new();
+        let bind = self.store.bind_all(&mut g);
+        let (items, users) = self.tables(&mut g, &bind);
+        let (h_seq, hu) = self.sequence_reprs(&mut g, items, users, &batch);
+
+        // Raw score.
+        let h_raw = self.backbone.encode(&mut g, &bind, h_seq);
+        let raw_logits = self.score_repr(&mut g, items, h_raw);
+        let raw_score = g.value(raw_logits).data()[target];
+
+        // Augmented score (stage 2, pre-denoising).
+        let (position, inserted, augmented_score) = if self.cfg.stage2 && seq.len() >= 2 {
+            let aug = self.augmenter.augment(&mut g, &bind, rng, h_seq, items, self.tau);
+            let h_a = self.backbone.encode(&mut g, &bind, aug.h_aug);
+            let a_logits = self.score_repr(&mut g, items, h_a);
+            let s = g.value(a_logits).data()[target];
+            (Some(aug.positions[0]), Some((aug.left_items[0], aug.right_items[0])), s)
+        } else {
+            (None, None, raw_score)
+        };
+
+        // Denoised score (stage 3).
+        let prior = self.coherence_prior(&mut g, &batch);
+        let (den, probs) = self.denoiser.denoise_eval(&mut g, &bind, h_seq, hu, prior);
+        let h_d = self.backbone.encode(&mut g, &bind, den);
+        let d_logits = self.score_repr(&mut g, items, h_d);
+        let denoised_score = g.value(d_logits).data()[target];
+        let kept = ssdrec_denoise::relative_keep(g.value(probs).data(), self.cfg.keep_beta);
+
+        CaseStudy {
+            seq: seq.to_vec(),
+            position,
+            inserted,
+            kept,
+            raw_score,
+            augmented_score,
+            denoised_score,
+        }
+    }
+}
+
+impl RecModel for SsdRec {
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn loss(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: &mut Rng) -> Var {
+        let (logits, gate, items) = self.forward_train(g, bind, batch, rng);
+        let logp = g.log_softmax_last(logits);
+        let picked = g.pick_per_row(logp, &batch.targets);
+        let mean = g.mean_all(picked);
+        let ce = g.neg(mean);
+        match gate {
+            Some(GateInfo { probs, h_seq, prior }) => {
+                // Gate supervision: regress the keep probability onto the
+                // graph-coherence prior (stage-1 knowledge) when available,
+                // else onto HSD's intra-sequence correlation signal.
+                let y = match prior {
+                    Some(p) => p,
+                    None => {
+                        let tgt = g.embedding(items, &batch.targets);
+                        self.denoiser.hsd.correlation_targets(g, h_seq, tgt)
+                    }
+                };
+                let gl = self.denoiser.hsd.gate_loss(g, probs, y);
+                g.add(ce, gl)
+            }
+            None => ce,
+        }
+    }
+
+    fn eval_scores(&self, g: &mut Graph, bind: &Binding, batch: &Batch) -> Var {
+        self.forward_eval(g, bind, batch)
+    }
+
+    fn on_epoch_start(&mut self, epoch: usize, total: usize) {
+        // Warm-up curriculum: the position/item selectors only act once the
+        // embeddings and relation encoder have had a fraction of training
+        // to become meaningful; inserting items selected from random
+        // representations corrupts early learning.
+        self.aug_active = (epoch as f64) >= self.cfg.aug_warmup_frac * total as f64;
+    }
+
+    fn after_step(&mut self) {
+        self.steps += 1;
+        if self.steps.is_multiple_of(self.cfg.anneal_every) {
+            self.tau = (self.tau * self.cfg.tau_decay).max(self.cfg.tau_min);
+        }
+    }
+
+    fn model_name(&self) -> String {
+        let mut name = format!("SSDRec[{}]", self.cfg.backbone.name());
+        if !self.cfg.stage1 {
+            name.push_str("-w/o1");
+        }
+        if !self.cfg.stage2 {
+            name.push_str("-w/o2");
+        }
+        if !self.cfg.stage3 {
+            name.push_str("-w/o3");
+        }
+        name
+    }
+}
+
+impl ssdrec_denoise::Denoiser for SsdRec {
+    fn keep_decisions(&self, seq: &[usize], user: usize) -> Vec<bool> {
+        self.keep_decisions_for(seq, user)
+    }
+
+    fn keep_scores(&self, seq: &[usize], user: usize) -> Vec<f32> {
+        self.keep_scores_for(seq, user)
+    }
+
+    fn denoiser_dim(&self) -> usize {
+        self.cfg.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdrec_data::SyntheticConfig;
+    use ssdrec_graph::{build_graph, GraphConfig};
+
+    fn toy_model(cfg_mod: impl Fn(&mut SsdRecConfig)) -> SsdRec {
+        let ds = SyntheticConfig::beauty().scaled(0.1).generate();
+        let mg = build_graph(&ds, &GraphConfig::default());
+        let mut cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+        cfg_mod(&mut cfg);
+        SsdRec::new(&mg, cfg)
+    }
+
+    fn toy_batch(num_items: usize) -> Batch {
+        let pick = |i: usize| (i % num_items) + 1;
+        Batch {
+            users: vec![0, 1],
+            items: (0..10).map(pick).collect(),
+            seq_len: 5,
+            targets: vec![pick(11), pick(12)],
+            noise: None,
+        }
+    }
+
+    #[test]
+    fn train_loss_finite_with_all_stages() {
+        let m = toy_model(|_| {});
+        let batch = toy_batch(m.num_items());
+        let mut g = Graph::new();
+        let bind = m.store.bind_all(&mut g);
+        let mut rng = Rng::seed(0);
+        let loss = m.loss(&mut g, &bind, &batch, &mut rng);
+        assert!(g.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn eval_scores_shape_and_determinism() {
+        let m = toy_model(|_| {});
+        let batch = toy_batch(m.num_items());
+        let run = || {
+            let mut g = Graph::new();
+            let bind = m.store.bind_all(&mut g);
+            let s = m.eval_scores(&mut g, &bind, &batch);
+            g.value(s).data().to_vec()
+        };
+        let a = run();
+        assert_eq!(a.len(), 2 * (m.num_items() + 1));
+        assert_eq!(a, run());
+    }
+
+    #[test]
+    fn every_ablation_variant_trains() {
+        for (s1, s2, s3) in [(false, true, true), (true, false, true), (true, true, false)] {
+            let m = toy_model(|c| {
+                c.stage1 = s1;
+                c.stage2 = s2;
+                c.stage3 = s3;
+            });
+            let batch = toy_batch(m.num_items());
+            let mut g = Graph::new();
+            let bind = m.store.bind_all(&mut g);
+            let mut rng = Rng::seed(1);
+            let loss = m.loss(&mut g, &bind, &batch, &mut rng);
+            assert!(g.value(loss).item().is_finite(), "variant ({s1},{s2},{s3})");
+            let grads = g.backward(loss);
+            assert!(grads.get(bind.var(m.item_emb.weight())).is_some());
+        }
+    }
+
+    #[test]
+    fn long_sequences_skip_augmentation() {
+        let m = toy_model(|c| c.aug_short_len = 3);
+        // seq_len 5 ≥ aug_short_len 3 → no augmentation path; still works.
+        let batch = toy_batch(m.num_items());
+        let mut g = Graph::new();
+        let bind = m.store.bind_all(&mut g);
+        let mut rng = Rng::seed(2);
+        let loss = m.loss(&mut g, &bind, &batch, &mut rng);
+        assert!(g.value(loss).item().is_finite());
+    }
+
+    #[test]
+    fn keep_decisions_cover_sequence() {
+        let m = toy_model(|_| {});
+        let seq: Vec<usize> = (1..=7).map(|i| (i % m.num_items()) + 1).collect();
+        let d = m.keep_decisions_for(&seq, 0);
+        assert_eq!(d.len(), 7);
+    }
+
+    #[test]
+    fn explain_produces_trace() {
+        let m = toy_model(|_| {});
+        let mut rng = Rng::seed(3);
+        let seq: Vec<usize> = (1..=6).map(|i| (i % m.num_items()) + 1).collect();
+        let cs = m.explain(&seq, 0, 1, &mut rng);
+        assert_eq!(cs.kept.len(), 6);
+        assert!(cs.position.is_some());
+        assert!(cs.inserted.is_some());
+        assert!(cs.raw_score.is_finite());
+        assert!(cs.denoised_score.is_finite());
+    }
+
+    #[test]
+    fn tau_anneals() {
+        let mut m = toy_model(|c| c.anneal_every = 1);
+        let t0 = m.tau;
+        m.after_step();
+        assert!(m.tau < t0);
+    }
+
+    #[test]
+    fn model_name_encodes_ablation() {
+        let m = toy_model(|c| c.stage2 = false);
+        assert!(m.model_name().contains("w/o2"));
+    }
+}
+
+#[cfg(test)]
+mod curriculum_tests {
+    use super::*;
+    use ssdrec_data::SyntheticConfig;
+    use ssdrec_graph::{build_graph, GraphConfig};
+    use ssdrec_models::RecModel;
+
+    fn model_with(cfg_mod: impl Fn(&mut SsdRecConfig)) -> SsdRec {
+        let ds = SyntheticConfig::beauty().scaled(0.1).generate();
+        let mg = build_graph(&ds, &GraphConfig::default());
+        let mut cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+        cfg_mod(&mut cfg);
+        SsdRec::new(&mg, cfg)
+    }
+
+    #[test]
+    fn augmentation_respects_warmup_schedule() {
+        let mut m = model_with(|c| c.aug_warmup_frac = 0.5);
+        assert!(!m.aug_active, "augmentation must start inactive");
+        m.on_epoch_start(0, 10);
+        assert!(!m.aug_active);
+        m.on_epoch_start(4, 10);
+        assert!(!m.aug_active);
+        m.on_epoch_start(5, 10);
+        assert!(m.aug_active, "augmentation must activate after the warm-up fraction");
+    }
+
+    #[test]
+    fn zero_warmup_activates_immediately() {
+        let mut m = model_with(|c| c.aug_warmup_frac = 0.0);
+        m.on_epoch_start(0, 10);
+        assert!(m.aug_active);
+    }
+
+    #[test]
+    fn coherence_prior_present_iff_stage1() {
+        let with = model_with(|_| {});
+        let without = model_with(|c| c.stage1 = false);
+        let batch = Batch {
+            users: vec![0],
+            items: (1..=5).map(|i| (i % with.num_items()) + 1).collect(),
+            seq_len: 5,
+            targets: vec![1],
+            noise: None,
+        };
+        let mut g = Graph::new();
+        assert!(with.coherence_prior(&mut g, &batch).is_some());
+        let batch2 = Batch {
+            users: vec![0],
+            items: (1..=5).map(|i| (i % without.num_items()) + 1).collect(),
+            seq_len: 5,
+            targets: vec![1],
+            noise: None,
+        };
+        assert!(without.coherence_prior(&mut g, &batch2).is_none());
+    }
+
+    #[test]
+    fn coherence_prior_values_in_unit_interval() {
+        let m = model_with(|_| {});
+        let batch = Batch {
+            users: vec![0, 1],
+            items: (0..12).map(|i| (i % m.num_items()) + 1).collect(),
+            seq_len: 6,
+            targets: vec![1, 2],
+            noise: None,
+        };
+        let mut g = Graph::new();
+        let prior = m.coherence_prior(&mut g, &batch).unwrap();
+        assert_eq!(g.value(prior).shape(), &[2, 6]);
+        assert!(g.value(prior).data().iter().all(|&p| p > 0.0 && p < 1.0));
+    }
+}
+
+#[cfg(test)]
+mod fden_tests {
+    use super::*;
+    use crate::fden::FdenKind;
+    use ssdrec_data::SyntheticConfig;
+    use ssdrec_graph::{build_graph, GraphConfig};
+    use ssdrec_models::RecModel;
+
+    #[test]
+    fn attention_gate_fden_trains_end_to_end() {
+        let ds = SyntheticConfig::beauty().scaled(0.1).generate();
+        let mg = build_graph(&ds, &GraphConfig::default());
+        let cfg = SsdRecConfig {
+            dim: 8,
+            max_len: 50,
+            fden: FdenKind::AttentionGate,
+            ..SsdRecConfig::default()
+        };
+        let m = SsdRec::new(&mg, cfg);
+        let batch = Batch {
+            users: vec![0, 1],
+            items: (0..10).map(|i| (i % m.num_items()) + 1).collect(),
+            seq_len: 5,
+            targets: vec![1, 2],
+            noise: None,
+        };
+        let mut g = Graph::new();
+        let bind = m.store.bind_all(&mut g);
+        let mut rng = Rng::seed(0);
+        let loss = m.loss(&mut g, &bind, &batch, &mut rng);
+        assert!(g.value(loss).item().is_finite());
+        let grads = g.backward(loss);
+        assert!(grads.get(bind.var(m.item_emb.weight())).is_some());
+        // Keep decisions still work through the alternative gate.
+        let seq: Vec<usize> = (1..=6).map(|i| (i % m.num_items()) + 1).collect();
+        assert_eq!(m.keep_decisions_for(&seq, 0).len(), 6);
+    }
+
+    #[test]
+    fn hsd_and_attention_gates_differ() {
+        let ds = SyntheticConfig::beauty().scaled(0.1).generate();
+        let mg = build_graph(&ds, &GraphConfig::default());
+        let run = |fden: FdenKind| {
+            let cfg = SsdRecConfig { dim: 8, max_len: 50, fden, ..SsdRecConfig::default() };
+            let m = SsdRec::new(&mg, cfg);
+            let seq: Vec<usize> = (1..=6).map(|i| (i % m.num_items()) + 1).collect();
+            m.keep_scores_for(&seq, 0)
+        };
+        assert_ne!(run(FdenKind::Hsd), run(FdenKind::AttentionGate));
+    }
+}

@@ -1,0 +1,92 @@
+//! Small graph-composition helpers shared across SSDRec's stages.
+
+use ssdrec_graph::Csr;
+use ssdrec_tensor::{Graph, Tensor, Var};
+
+/// Convert a CSR adjacency into a dense `rows×cols` weight matrix
+/// (`out[i][j] = w(i→j)`), used as a constant message-passing operator.
+pub fn csr_to_dense(csr: &Csr, rows: usize, cols: usize) -> Tensor {
+    let mut t = Tensor::zeros(&[rows, cols]);
+    for i in 0..csr.num_nodes().min(rows) {
+        for &(j, w) in csr.neighbors(i) {
+            if j < cols {
+                t.data_mut()[i * cols + j] = w;
+            }
+        }
+    }
+    t
+}
+
+/// Multiply every element of `a` by a *learnable scalar* `s` (shape `[1]`),
+/// keeping the gradient path to `s` (realised as a rank-1 matmul).
+pub fn scale_by_scalar(g: &mut Graph, a: Var, s: Var) -> Var {
+    let shape = g.value(a).shape().to_vec();
+    let n = g.value(a).len();
+    let flat = g.reshape(a, &[n, 1]);
+    let s2 = g.reshape(s, &[1, 1]);
+    let y = g.matmul(flat, s2);
+    g.reshape(y, &shape)
+}
+
+/// Add a *learnable scalar* `b` (shape `[1]`) to every element of `a`.
+pub fn add_scalar_var(g: &mut Graph, a: Var, b: Var) -> Var {
+    let shape = g.value(a).shape().to_vec();
+    let n = g.value(a).len();
+    let ones = g.constant(Tensor::ones(&[n, 1]));
+    let b2 = g.reshape(b, &[1, 1]);
+    let tiled = g.matmul(ones, b2);
+    let tiled = g.reshape(tiled, &shape);
+    g.add(a, tiled)
+}
+
+/// Expand a `B×T×1` gate to `B×T×d` and multiply it into `h`.
+pub fn gate_rows(g: &mut Graph, h: Var, gate: Var, d: usize) -> Var {
+    let ones = g.constant(Tensor::ones(&[1, d]));
+    let expanded = g.matmul(gate, ones);
+    g.mul(h, expanded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_to_dense_places_weights() {
+        let csr = Csr::from_lists(vec![vec![(1, 0.5)], vec![(0, 2.0), (2, 1.0)], vec![]]);
+        let d = csr_to_dense(&csr, 3, 3);
+        assert_eq!(d.data(), &[0.0, 0.5, 0.0, 2.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_by_scalar_grads_flow_to_scalar() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let s = g.param(Tensor::scalar(3.0));
+        let y = scale_by_scalar(&mut g, a, s);
+        assert_eq!(g.value(y).data(), &[3.0, 6.0, 9.0, 12.0]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(s).unwrap().item(), 10.0);
+    }
+
+    #[test]
+    fn add_scalar_var_tiles() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::zeros(&[2, 3]));
+        let b = g.param(Tensor::scalar(0.5));
+        let y = add_scalar_var(&mut g, a, b);
+        assert_eq!(g.value(y).data(), &[0.5; 6]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(b).unwrap().item(), 6.0);
+    }
+
+    #[test]
+    fn gate_rows_zeroes_gated() {
+        let mut g = Graph::new();
+        let h = g.constant(Tensor::ones(&[1, 2, 3]));
+        let gate = g.constant(Tensor::new(vec![1.0, 0.0], &[1, 2, 1]));
+        let y = gate_rows(&mut g, h, gate, 3);
+        assert_eq!(g.value(y).data(), &[1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Mini-batching with length bucketing.
+//!
+//! Batches group examples of *identical* sequence length, which removes any
+//! need for padding or masking inside the models — every tensor in a batch
+//! is dense `B×T`. The paper's batch size (256) applies per bucket.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+use std::collections::BTreeMap;
+
+use crate::interaction::Example;
+
+/// One dense mini-batch of equal-length sequences.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Users, length `B`.
+    pub users: Vec<usize>,
+    /// Row-major `B×T` item IDs.
+    pub items: Vec<usize>,
+    /// Sequence length `T` shared by the whole batch.
+    pub seq_len: usize,
+    /// Next-item targets, length `B`.
+    pub targets: Vec<usize>,
+    /// Ground-truth noise flags (`B×T`, synthetic data only).
+    pub noise: Option<Vec<bool>>,
+}
+
+impl Batch {
+    /// Batch size `B`.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The item row for batch element `i`.
+    pub fn seq(&self, i: usize) -> &[usize] {
+        &self.items[i * self.seq_len..(i + 1) * self.seq_len]
+    }
+}
+
+/// Deterministically batch `examples` into equal-length groups of at most
+/// `batch_size`, shuffling example order with `seed` (shuffle happens within
+/// the global list before bucketing, so bucket composition varies per epoch).
+pub fn make_batches(examples: &[Example], batch_size: usize, seed: u64) -> Vec<Batch> {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let mut order: Vec<usize> = (0..examples.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+
+    // Bucket by exact length, preserving shuffled order inside buckets.
+    let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &i in &order {
+        buckets.entry(examples[i].seq.len()).or_default().push(i);
+    }
+
+    let mut batches = Vec::new();
+    for (len, idxs) in buckets {
+        if len == 0 {
+            continue;
+        }
+        for chunk in idxs.chunks(batch_size) {
+            let mut users = Vec::with_capacity(chunk.len());
+            let mut items = Vec::with_capacity(chunk.len() * len);
+            let mut targets = Vec::with_capacity(chunk.len());
+            let has_noise = examples[chunk[0]].noise.is_some();
+            let mut noise = if has_noise { Some(Vec::with_capacity(chunk.len() * len)) } else { None };
+            for &i in chunk {
+                let ex = &examples[i];
+                users.push(ex.user);
+                items.extend_from_slice(&ex.seq);
+                targets.push(ex.target);
+                if let (Some(nv), Some(exn)) = (noise.as_mut(), ex.noise.as_ref()) {
+                    nv.extend_from_slice(exn);
+                }
+            }
+            batches.push(Batch { users, items, seq_len: len, targets, noise });
+        }
+    }
+
+    // Shuffle batch order so the model does not see lengths in sorted order.
+    for i in (1..batches.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        batches.swap(i, j);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(user: usize, seq: &[usize], target: usize) -> Example {
+        Example { user, seq: seq.to_vec(), target, noise: None }
+    }
+
+    fn toy_examples() -> Vec<Example> {
+        vec![
+            ex(0, &[1, 2, 3], 4),
+            ex(1, &[2, 3, 4], 5),
+            ex(2, &[1, 2], 3),
+            ex(3, &[5, 4, 3], 2),
+            ex(4, &[2, 1], 5),
+            ex(5, &[1, 2, 3, 4], 5),
+        ]
+    }
+
+    #[test]
+    fn batches_are_length_homogeneous() {
+        let batches = make_batches(&toy_examples(), 2, 0);
+        for b in &batches {
+            assert_eq!(b.items.len(), b.len() * b.seq_len);
+        }
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn batch_size_respected() {
+        let batches = make_batches(&toy_examples(), 2, 0);
+        assert!(batches.iter().all(|b| b.len() <= 2));
+    }
+
+    #[test]
+    fn every_example_appears_exactly_once() {
+        let examples = toy_examples();
+        let batches = make_batches(&examples, 4, 7);
+        let mut seen = vec![false; examples.len()];
+        for b in &batches {
+            for i in 0..b.len() {
+                let pos = examples
+                    .iter()
+                    .position(|e| e.user == b.users[i] && e.seq == b.seq(i) && e.target == b.targets[i])
+                    .expect("batched example not found");
+                assert!(!seen[pos], "duplicate example");
+                seen[pos] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_varies_with_seed() {
+        let a = make_batches(&toy_examples(), 2, 0);
+        let b = make_batches(&toy_examples(), 2, 1);
+        let order_a: Vec<Vec<usize>> = a.iter().map(|x| x.users.clone()).collect();
+        let order_b: Vec<Vec<usize>> = b.iter().map(|x| x.users.clone()).collect();
+        assert_ne!(order_a, order_b);
+    }
+
+    #[test]
+    fn noise_flags_are_carried() {
+        let examples = vec![Example {
+            user: 0,
+            seq: vec![1, 2, 3],
+            target: 4,
+            noise: Some(vec![false, true, false]),
+        }];
+        let batches = make_batches(&examples, 4, 0);
+        assert_eq!(batches[0].noise.as_ref().unwrap(), &vec![false, true, false]);
+    }
+}

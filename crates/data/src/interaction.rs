@@ -1,0 +1,185 @@
+//! Core data model: users, items and temporal interaction sequences.
+//!
+//! Item ID `0` is reserved as padding throughout the workspace; real items
+//! are numbered `1..=num_items`.
+
+/// Reserved padding item ID.
+pub const PAD_ITEM: usize = 0;
+
+/// A single user–item interaction with a timestamp-ordered position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interaction {
+    /// User ID (`0..num_users`).
+    pub user: usize,
+    /// Item ID (`1..=num_items`).
+    pub item: usize,
+}
+
+/// A full interaction dataset: one temporal sequence per user.
+///
+/// Mirrors the paper's "raw sequence data" `S^i = [s^i_1, …, s^i_{n_i}]`
+/// (§II). When produced by the synthetic generator, `noise_labels` carries
+/// the ground-truth "this interaction was noise" flag per position — the
+/// label that real datasets lack and the paper has to inject for Fig. 1.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable profile name (e.g. `"ml-100k-sim"`).
+    pub name: String,
+    /// Number of users; user IDs are `0..num_users`.
+    pub num_users: usize,
+    /// Number of real items; item IDs are `1..=num_items` (`0` is padding).
+    pub num_items: usize,
+    /// Per-user, time-ordered item sequences.
+    pub sequences: Vec<Vec<usize>>,
+    /// Optional ground-truth noise flags, aligned with `sequences`.
+    pub noise_labels: Option<Vec<Vec<bool>>>,
+}
+
+impl Dataset {
+    /// Total number of interactions.
+    pub fn num_actions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Mean sequence length over users with at least one interaction.
+    pub fn avg_len(&self) -> f64 {
+        let nonempty = self.sequences.iter().filter(|s| !s.is_empty()).count();
+        if nonempty == 0 {
+            return 0.0;
+        }
+        self.num_actions() as f64 / nonempty as f64
+    }
+
+    /// Interaction-matrix sparsity `1 − actions / (users · items)`, as a
+    /// percentage (Table II's "# Sparsity" column).
+    pub fn sparsity(&self) -> f64 {
+        let cells = (self.num_users * self.num_items) as f64;
+        if cells == 0.0 {
+            return 0.0;
+        }
+        // Count distinct (user, item) pairs, as in an interaction matrix.
+        let mut distinct = 0usize;
+        let mut seen = vec![false; self.num_items + 1];
+        for seq in &self.sequences {
+            for &it in seq {
+                if !seen[it] {
+                    seen[it] = true;
+                    distinct += 1;
+                }
+            }
+            for &it in seq {
+                seen[it] = false;
+            }
+        }
+        (1.0 - distinct as f64 / cells) * 100.0
+    }
+
+    /// Per-item interaction counts (index 0 is the pad item, always 0).
+    pub fn item_frequencies(&self) -> Vec<usize> {
+        let mut freq = vec![0usize; self.num_items + 1];
+        for seq in &self.sequences {
+            for &it in seq {
+                freq[it] += 1;
+            }
+        }
+        freq
+    }
+
+    /// Validity check: every item ID within range, labels aligned.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sequences.len() != self.num_users {
+            return Err(format!(
+                "{} sequences for {} users",
+                self.sequences.len(),
+                self.num_users
+            ));
+        }
+        for (u, seq) in self.sequences.iter().enumerate() {
+            for &it in seq {
+                if it == PAD_ITEM || it > self.num_items {
+                    return Err(format!("user {u}: item {it} out of range 1..={}", self.num_items));
+                }
+            }
+        }
+        if let Some(labels) = &self.noise_labels {
+            if labels.len() != self.sequences.len() {
+                return Err("noise label rows mismatch".into());
+            }
+            for (u, (seq, lab)) in self.sequences.iter().zip(labels).enumerate() {
+                if seq.len() != lab.len() {
+                    return Err(format!("user {u}: label length mismatch"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One supervised example: a user's history prefix and the next interaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Example {
+    /// The user the sequence belongs to.
+    pub user: usize,
+    /// Input prefix `[s_1, …, s_t]`.
+    pub seq: Vec<usize>,
+    /// Ground-truth next item `s_{t+1}`.
+    pub target: usize,
+    /// Ground-truth noise flags for `seq` (synthetic data only).
+    pub noise: Option<Vec<bool>>,
+}
+
+/// Train / validation / test examples produced by the leave-one-out split.
+#[derive(Clone, Debug, Default)]
+pub struct Split {
+    /// Training examples (possibly several prefixes per user).
+    pub train: Vec<Example>,
+    /// One validation example per user (second-to-last item as target).
+    pub valid: Vec<Example>,
+    /// One test example per user (last item as target).
+    pub test: Vec<Example>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset {
+            name: "toy".into(),
+            num_users: 2,
+            num_items: 5,
+            sequences: vec![vec![1, 2, 3], vec![2, 2, 4, 5]],
+            noise_labels: None,
+        }
+    }
+
+    #[test]
+    fn stats() {
+        let d = toy();
+        assert_eq!(d.num_actions(), 7);
+        assert!((d.avg_len() - 3.5).abs() < 1e-9);
+        // distinct pairs: u0 {1,2,3}, u1 {2,4,5} = 6 of 10 cells
+        assert!((d.sparsity() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequencies() {
+        let f = toy().item_frequencies();
+        assert_eq!(f, vec![0, 1, 3, 1, 1, 1]);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut d = toy();
+        d.sequences[0].push(9);
+        assert!(d.validate().is_err());
+        assert!(toy().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_label_misalignment() {
+        let mut d = toy();
+        d.noise_labels = Some(vec![vec![false; 3], vec![false; 3]]);
+        assert!(d.validate().is_err());
+    }
+}

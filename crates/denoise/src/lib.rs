@@ -1,0 +1,91 @@
+//! # ssdrec-denoise
+//!
+//! The five denoising / debiasing baselines the paper compares against
+//! (Table IV): FMLP-Rec (implicit), DSAN, HSD, STEAM (explicit), and DCRec
+//! (debiased contrastive). All implement the shared
+//! [`RecModel`](ssdrec_models::RecModel) trainer interface plus the
+//! [`Denoiser`] trait, which exposes keep/drop decisions for the Fig. 1 OUP
+//! experiment.
+
+#![warn(missing_docs)]
+
+pub mod dcrec;
+pub mod dsan;
+pub mod fmlp;
+pub mod hsd;
+pub mod steam;
+
+pub use dcrec::DcRec;
+pub use dsan::Dsan;
+pub use fmlp::FmlpRec;
+pub use hsd::{Hsd, HsdCore};
+pub use steam::Steam;
+
+/// A model that makes (or declines to make) explicit keep/drop decisions
+/// over a raw sequence — the interface the OUP measurement drives.
+pub trait Denoiser: ssdrec_models::RecModel {
+    /// Deterministic keep (true) / drop (false) decision per position of
+    /// `seq` for `user`. Implicit methods keep everything by construction.
+    fn keep_decisions(&self, seq: &[usize], user: usize) -> Vec<bool>;
+
+    /// Continuous keep score per position (higher = more likely kept);
+    /// implicit methods return all-ones. Used for threshold-free
+    /// diagnostics like noise/clean score separation.
+    fn keep_scores(&self, seq: &[usize], user: usize) -> Vec<f32> {
+        self.keep_decisions(seq, user)
+            .into_iter()
+            .map(|k| if k { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Representation width (diagnostics).
+    fn denoiser_dim(&self) -> usize;
+}
+
+/// Relative keep rule shared by the explicit denoisers: a position is
+/// dropped when its keep score falls well below the sequence's own mean
+/// (`score < beta * mean`). This makes the decision invariant to the
+/// absolute calibration of the score (a product of sigmoids concentrates
+/// wherever its priors put it) while preserving the ordering the model
+/// learned.
+pub fn relative_keep(scores: &[f32], beta: f32) -> Vec<bool> {
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let mean: f32 = scores.iter().sum::<f32>() / scores.len() as f32;
+    let threshold = beta * mean;
+    scores.iter().map(|&s| s >= threshold).collect()
+}
+
+/// The default `beta` used by [`relative_keep`] across the workspace.
+pub const RELATIVE_KEEP_BETA: f32 = 0.6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_keep_drops_outliers_only() {
+        let scores = [0.5, 0.5, 0.1, 0.5];
+        let kept = relative_keep(&scores, 0.95);
+        assert_eq!(kept, vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn relative_keep_is_scale_invariant() {
+        let a = [0.5, 0.5, 0.1, 0.5];
+        let b: Vec<f32> = a.iter().map(|x| x * 0.01).collect();
+        assert_eq!(relative_keep(&a, 0.95), relative_keep(&b, 0.95));
+    }
+
+    #[test]
+    fn relative_keep_uniform_keeps_all() {
+        let kept = relative_keep(&[0.3; 6], 0.95);
+        assert!(kept.iter().all(|&k| k));
+    }
+
+    #[test]
+    fn relative_keep_empty() {
+        assert!(relative_keep(&[], 0.95).is_empty());
+    }
+}

@@ -1,0 +1,477 @@
+//! Construction of the multi-relation graph `G` (paper §III-A).
+//!
+//! Five relation types are built in a fully data-driven way from raw
+//! sequences, exactly following the paper's definitions:
+//!
+//! * **interacted** user–item edges weighted by interaction counts (`A`),
+//! * **transitional** (directed) item edges weighted by
+//!   `Σ_u (n_u − Dis(v_i, v_j)) / n_u` over sequences containing `v_i` before
+//!   `v_j`,
+//! * **incompatible** (undirected) item edges between *popular* items that
+//!   never co-transit but share transitional context,
+//! * **similar** user edges weighted by a Jaccard-style overlap of
+//!   interaction mass,
+//! * **dissimilar** user edges between users who never co-interact yet share
+//!   a similar user.
+
+use std::collections::HashMap;
+
+use ssdrec_data::Dataset;
+
+use crate::csr::Csr;
+
+/// Knobs for graph construction. Defaults follow the paper's implementation
+/// details (few-shot ratios 0.9 users / 0.8 items via the 20/80 principle).
+#[derive(Clone, Debug)]
+pub struct GraphConfig {
+    /// Fraction of items regarded as few-shot (long-tail); the complement is
+    /// "popular" and eligible for incompatible relations. Paper: 0.8.
+    pub item_fewshot_ratio: f64,
+    /// Fraction of users regarded as few-shot. Paper: 0.9.
+    pub user_fewshot_ratio: f64,
+    /// Keep only the `k` heaviest neighbours per node and relation
+    /// (tractability cap; the encoder aggregates linearly in edge count).
+    pub max_neighbors: usize,
+    /// Limit on the positional distance considered for transitional pairs
+    /// (`usize::MAX` = the paper's all-pairs definition).
+    pub max_transition_distance: usize,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig {
+            item_fewshot_ratio: 0.8,
+            user_fewshot_ratio: 0.9,
+            max_neighbors: 32,
+            max_transition_distance: usize::MAX,
+        }
+    }
+}
+
+/// The multi-relation graph `G = (N, E)` with all five edge sets in CSR form.
+///
+/// Item nodes are indexed by item ID (index 0 = padding, always isolated);
+/// user nodes by user ID.
+#[derive(Clone, Debug)]
+pub struct MultiRelationGraph {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items (nodes `1..=num_items`).
+    pub num_items: usize,
+    /// `E_uv`: user → interacted items, weighted by interaction count.
+    pub user_item: Csr,
+    /// `E_uv` transposed: item → interacting users.
+    pub item_user: Csr,
+    /// `E⁺_vv` outgoing: `v → {v_j : v before v_j}`.
+    pub trans_out: Csr,
+    /// `E⁺_vv` incoming: `v → {v_i : v_i before v}`.
+    pub trans_in: Csr,
+    /// `E⁻_vv`: undirected incompatible item edges.
+    pub incompatible: Csr,
+    /// `E⁺_uu`: undirected similar user edges.
+    pub similar: Csr,
+    /// `E⁻_uu`: undirected dissimilar user edges.
+    pub dissimilar: Csr,
+    /// Per-item popularity flags used for incompatible eligibility.
+    pub item_popular: Vec<bool>,
+}
+
+impl MultiRelationGraph {
+    /// Data-driven context-coherence score per position of a sequence: the
+    /// mean symmetric transitional weight between the item and its context
+    /// within `window` positions, minus the mean incompatible weight.
+    ///
+    /// This is the graph acting as *prior knowledge* (paper §III-A): an
+    /// accidental interaction has (almost) no transitional relations to its
+    /// neighbours, so its coherence is low; incompatible items are actively
+    /// penalised. Scores are clamped at zero.
+    pub fn sequence_coherence(&self, seq: &[usize], window: usize) -> Vec<f32> {
+        let n = seq.len();
+        seq.iter()
+            .enumerate()
+            .map(|(t, &it)| {
+                let mut s = 0.0f32;
+                let mut cnt = 0.0f32;
+                let lo = t.saturating_sub(window);
+                let hi = (t + window).min(n.saturating_sub(1));
+                for (j, &other) in seq.iter().enumerate().take(hi + 1).skip(lo) {
+                    if j == t {
+                        continue;
+                    }
+                    s += self.trans_out.weight(it, other).unwrap_or(0.0)
+                        + self.trans_out.weight(other, it).unwrap_or(0.0);
+                    s -= self.incompatible.weight(it, other).unwrap_or(0.0);
+                    cnt += 1.0;
+                }
+                if cnt > 0.0 {
+                    (s / cnt).max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Total edge count across every relation (diagnostics).
+    pub fn total_edges(&self) -> usize {
+        self.user_item.num_edges()
+            + self.item_user.num_edges()
+            + self.trans_out.num_edges()
+            + self.trans_in.num_edges()
+            + self.incompatible.num_edges()
+            + self.similar.num_edges()
+            + self.dissimilar.num_edges()
+    }
+}
+
+fn popular_flags(freq: &[usize], fewshot_ratio: f64) -> Vec<bool> {
+    // Nodes above the (fewshot_ratio)-quantile of frequency are popular.
+    let mut nonzero: Vec<usize> = freq.iter().copied().filter(|&f| f > 0).collect();
+    if nonzero.is_empty() {
+        return vec![false; freq.len()];
+    }
+    nonzero.sort_unstable();
+    let idx = ((nonzero.len() as f64 * fewshot_ratio) as usize).min(nonzero.len() - 1);
+    let threshold = nonzero[idx];
+    freq.iter().map(|&f| f > 0 && f >= threshold.max(1)).collect()
+}
+
+/// Build the full multi-relation graph from a dataset.
+pub fn build_graph(ds: &Dataset, cfg: &GraphConfig) -> MultiRelationGraph {
+    let n_items = ds.num_items + 1; // include pad slot 0
+    let n_users = ds.num_users;
+
+    // --- interactional relations (A) -------------------------------------
+    let mut ui: Vec<HashMap<usize, f32>> = vec![HashMap::new(); n_users];
+    for (u, seq) in ds.sequences.iter().enumerate() {
+        for &it in seq {
+            *ui[u].entry(it).or_insert(0.0) += 1.0;
+        }
+    }
+    let mut iu_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_items];
+    let ui_lists: Vec<Vec<(usize, f32)>> = ui
+        .iter()
+        .enumerate()
+        .map(|(u, m)| {
+            let mut l: Vec<(usize, f32)> = m.iter().map(|(&i, &w)| (i, w)).collect();
+            l.sort_unstable_by_key(|&(i, _)| i);
+            for &(i, w) in &l {
+                iu_lists[i].push((u, w));
+            }
+            l
+        })
+        .collect();
+
+    // --- transitional relations (E+_vv) -----------------------------------
+    // w+_{ij} = Σ over sequences containing v_i before v_j of (n - Dis)/n.
+    let mut trans: HashMap<(usize, usize), f32> = HashMap::new();
+    for seq in &ds.sequences {
+        let n = seq.len();
+        if n < 2 {
+            continue;
+        }
+        for a in 0..n {
+            let hi = if cfg.max_transition_distance == usize::MAX {
+                n
+            } else {
+                (a + 1 + cfg.max_transition_distance).min(n)
+            };
+            for b in (a + 1)..hi {
+                if seq[a] == seq[b] {
+                    continue;
+                }
+                let dis = (b - a) as f32;
+                let w = (n as f32 - dis) / n as f32;
+                *trans.entry((seq[a], seq[b])).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut trans_out_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_items];
+    let mut trans_in_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_items];
+    for (&(i, j), &w) in &trans {
+        trans_out_lists[i].push((j, w));
+        trans_in_lists[j].push((i, w));
+    }
+    for l in trans_out_lists.iter_mut().chain(trans_in_lists.iter_mut()) {
+        l.sort_unstable_by_key(|&(n, _)| n);
+    }
+
+    // --- incompatible relations (E-_vv) ------------------------------------
+    // Popular items i, j with no transitional edge either way but a common
+    // transitional neighbour k; weight Σ_k (w+_ik + w+_ki + w+_jk + w+_kj).
+    let freq = ds.item_frequencies();
+    let item_popular = popular_flags(&freq, cfg.item_fewshot_ratio);
+
+    // Per-item transitional mass to/from each neighbour (symmetrised once).
+    let mut trans_mass: Vec<HashMap<usize, f32>> = vec![HashMap::new(); n_items];
+    for (&(i, j), &w) in &trans {
+        *trans_mass[i].entry(j).or_insert(0.0) += w;
+        *trans_mass[j].entry(i).or_insert(0.0) += w;
+    }
+
+    let popular_items: Vec<usize> = (1..n_items).filter(|&i| item_popular[i]).collect();
+    let mut incomp: HashMap<(usize, usize), f32> = HashMap::new();
+    // Invert: for each context item k, the popular items connected to k.
+    let mut by_context: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &i in &popular_items {
+        for &k in trans_mass[i].keys() {
+            by_context.entry(k).or_default().push(i);
+        }
+    }
+    for (&k, items) in &by_context {
+        for ai in 0..items.len() {
+            for bi in (ai + 1)..items.len() {
+                let (i, j) = (items[ai].min(items[bi]), items[ai].max(items[bi]));
+                if trans.contains_key(&(i, j)) || trans.contains_key(&(j, i)) {
+                    continue;
+                }
+                let w = trans_mass[i].get(&k).copied().unwrap_or(0.0)
+                    + trans_mass[j].get(&k).copied().unwrap_or(0.0);
+                *incomp.entry((i, j)).or_insert(0.0) += w;
+            }
+        }
+    }
+    let mut incomp_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_items];
+    for (&(i, j), &w) in &incomp {
+        incomp_lists[i].push((j, w));
+        incomp_lists[j].push((i, w));
+    }
+
+    // --- similar user relations (E+_uu) -------------------------------------
+    // Users sharing an item; weight = Σ_k (w_ik + w_jk) / (Σ w_i + Σ w_j).
+    let user_mass: Vec<f32> = ui.iter().map(|m| m.values().sum()).collect();
+    let mut by_item: Vec<Vec<usize>> = vec![Vec::new(); n_items];
+    for (u, m) in ui.iter().enumerate() {
+        for &i in m.keys() {
+            by_item[i].push(u);
+        }
+    }
+    let mut sim: HashMap<(usize, usize), f32> = HashMap::new();
+    for item_users in by_item.iter() {
+        for ai in 0..item_users.len() {
+            for bi in (ai + 1)..item_users.len() {
+                let (a, b) = (item_users[ai].min(item_users[bi]), item_users[ai].max(item_users[bi]));
+                sim.entry((a, b)).or_insert(0.0);
+            }
+        }
+    }
+    for ((a, b), w) in sim.iter_mut() {
+        let shared: f32 = ui[*a]
+            .iter()
+            .filter_map(|(&i, &wa)| ui[*b].get(&i).map(|&wb| wa + wb))
+            .sum();
+        *w = shared / (user_mass[*a] + user_mass[*b]).max(1e-9);
+    }
+    let mut sim_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_users];
+    for (&(a, b), &w) in &sim {
+        sim_lists[a].push((b, w));
+        sim_lists[b].push((a, w));
+    }
+    for l in sim_lists.iter_mut() {
+        l.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+        l.truncate(cfg.max_neighbors);
+    }
+
+    // --- dissimilar user relations (E-_uu) -----------------------------------
+    // Popular users who never co-interact but share a similar user k;
+    // weight Σ_k (w+_ik + w+_kj) over shared similar users.
+    let user_freq: Vec<usize> = ds.sequences.iter().map(Vec::len).collect();
+    let user_popular = popular_flags(&user_freq, cfg.user_fewshot_ratio);
+    let mut dissim: HashMap<(usize, usize), f32> = HashMap::new();
+    for nbrs in sim_lists.iter().take(n_users) {
+        for ai in 0..nbrs.len() {
+            for bi in (ai + 1)..nbrs.len() {
+                let (a, wa) = nbrs[ai];
+                let (b, wb) = nbrs[bi];
+                if !user_popular[a] || !user_popular[b] {
+                    continue;
+                }
+                let (lo, hi) = (a.min(b), a.max(b));
+                if sim.contains_key(&(lo, hi)) {
+                    continue; // they are similar, not dissimilar
+                }
+                *dissim.entry((lo, hi)).or_insert(0.0) += wa + wb;
+            }
+        }
+    }
+    let mut dissim_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_users];
+    for (&(a, b), &w) in &dissim {
+        dissim_lists[a].push((b, w));
+        dissim_lists[b].push((a, w));
+    }
+
+    let cap = cfg.max_neighbors;
+    MultiRelationGraph {
+        num_users: n_users,
+        num_items: ds.num_items,
+        user_item: Csr::from_lists(ui_lists).top_k(cap).row_normalized(),
+        item_user: Csr::from_lists(iu_lists).top_k(cap).row_normalized(),
+        trans_out: Csr::from_lists(trans_out_lists).top_k(cap).row_normalized(),
+        trans_in: Csr::from_lists(trans_in_lists).top_k(cap).row_normalized(),
+        incompatible: Csr::from_lists(incomp_lists).top_k(cap).row_normalized(),
+        similar: Csr::from_lists(sim_lists).row_normalized(),
+        dissimilar: Csr::from_lists(dissim_lists).top_k(cap).row_normalized(),
+        item_popular,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdrec_data::SyntheticConfig;
+
+    fn toy() -> Dataset {
+        Dataset {
+            name: "toy".into(),
+            num_users: 4,
+            num_items: 6,
+            sequences: vec![
+                vec![1, 2, 3],
+                vec![1, 2, 4],
+                vec![5, 2, 3],
+                vec![6, 1, 2],
+            ],
+            noise_labels: None,
+        }
+    }
+
+    #[test]
+    fn transitional_edges_follow_order() {
+        let g = build_graph(&toy(), &GraphConfig::default());
+        // 1 → 2 occurs in three sequences; 2 → 1 never.
+        assert!(g.trans_out.weight(1, 2).is_some());
+        assert!(g.trans_out.weight(2, 1).is_none());
+        // trans_in is the transpose.
+        assert!(g.trans_in.weight(2, 1).is_some());
+    }
+
+    #[test]
+    fn transitional_weight_decays_with_distance() {
+        // Unnormalised weights: in [1,2,3], w(1→2) uses Dis=1, w(1→3) Dis=2,
+        // so pre-normalisation w(1→2) > w(1→3). Check via a single-sequence
+        // dataset where normalisation preserves the ordering.
+        let ds = Dataset {
+            name: "t".into(),
+            num_users: 1,
+            num_items: 3,
+            sequences: vec![vec![1, 2, 3]],
+            noise_labels: None,
+        };
+        let g = build_graph(&ds, &GraphConfig::default());
+        let w12 = g.trans_out.weight(1, 2).unwrap();
+        let w13 = g.trans_out.weight(1, 3).unwrap();
+        assert!(w12 > w13, "{w12} vs {w13}");
+    }
+
+    #[test]
+    fn pad_item_is_isolated() {
+        let g = build_graph(&toy(), &GraphConfig::default());
+        assert_eq!(g.trans_out.degree(0), 0);
+        assert_eq!(g.trans_in.degree(0), 0);
+        assert_eq!(g.incompatible.degree(0), 0);
+    }
+
+    #[test]
+    fn similar_users_share_items() {
+        let g = build_graph(&toy(), &GraphConfig::default());
+        // Users 0 and 1 share items {1, 2}.
+        assert!(g.similar.weight(0, 1).is_some());
+        assert!(g.similar.weight(1, 0).is_some(), "similar is undirected");
+    }
+
+    #[test]
+    fn incompatible_requires_no_transitional_link() {
+        let g = build_graph(&toy(), &GraphConfig::default());
+        for i in 1..=g.num_items {
+            for &(j, _) in g.incompatible.neighbors(i) {
+                assert!(
+                    g.trans_out.weight(i, j).is_none() && g.trans_out.weight(j, i).is_none(),
+                    "incompatible pair ({i},{j}) has a transitional edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dissimilar_users_never_similar() {
+        let ds = SyntheticConfig::beauty().scaled(0.3).generate();
+        let g = build_graph(&ds, &GraphConfig::default());
+        for u in 0..g.num_users {
+            for &(v, _) in g.dissimilar.neighbors(u) {
+                assert!(g.similar.weight(u, v).is_none(), "({u},{v}) both similar and dissimilar");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_normalized() {
+        let g = build_graph(&toy(), &GraphConfig::default());
+        for i in 1..=g.num_items {
+            if g.trans_out.degree(i) > 0 {
+                let s: f32 = g.trans_out.neighbors(i).iter().map(|&(_, w)| w).sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_cap_enforced() {
+        let ds = SyntheticConfig::ml100k().scaled(0.5).generate();
+        let cfg = GraphConfig { max_neighbors: 5, ..GraphConfig::default() };
+        let g = build_graph(&ds, &cfg);
+        for i in 0..=g.num_items {
+            assert!(g.trans_out.degree(i) <= 5);
+        }
+        for u in 0..g.num_users {
+            assert!(g.similar.degree(u) <= 5);
+        }
+    }
+
+    #[test]
+    fn builds_on_every_profile() {
+        for cfg in SyntheticConfig::all_profiles() {
+            let ds = cfg.scaled(0.2).generate();
+            let g = build_graph(&ds, &GraphConfig::default());
+            assert!(g.total_edges() > 0, "{}: empty graph", ds.name);
+        }
+    }
+
+    #[test]
+    fn coherence_favours_cooccurring_items() {
+        let g = build_graph(&toy(), &GraphConfig::default());
+        // [1, 2, 3] is a frequent pattern; a sequence with an alien item
+        // should score it lowest.
+        let c = g.sequence_coherence(&[1, 2, 6, 3], 3);
+        assert_eq!(c.len(), 4);
+        let alien = c[2];
+        assert!(
+            c[0] > alien && c[1] > alien,
+            "alien item not least coherent: {c:?}"
+        );
+    }
+
+    #[test]
+    fn coherence_handles_short_sequences() {
+        let g = build_graph(&toy(), &GraphConfig::default());
+        assert_eq!(g.sequence_coherence(&[1], 3), vec![0.0]);
+        assert!(g.sequence_coherence(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn coherence_is_nonnegative() {
+        let ds = SyntheticConfig::yelp().scaled(0.2).generate();
+        let g = build_graph(&ds, &GraphConfig::default());
+        for seq in ds.sequences.iter().take(20) {
+            assert!(g.sequence_coherence(seq, 3).iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn popularity_threshold_marks_minority() {
+        let ds = SyntheticConfig::sports().scaled(0.5).generate();
+        let g = build_graph(&ds, &GraphConfig::default());
+        let popular = g.item_popular.iter().filter(|&&p| p).count();
+        let total = g.num_items;
+        assert!(popular > 0 && popular < total / 2, "popular {popular}/{total}");
+    }
+}

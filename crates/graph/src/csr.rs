@@ -1,0 +1,128 @@
+//! Compact weighted adjacency storage (CSR) for the multi-relation graph.
+
+/// A weighted adjacency structure in compressed sparse row form.
+///
+/// Node `i`'s neighbours live in `nbrs[offsets[i]..offsets[i+1]]` as
+/// `(neighbour, weight)` pairs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    nbrs: Vec<(usize, f32)>,
+}
+
+impl Csr {
+    /// Build from per-node neighbour lists.
+    pub fn from_lists(lists: Vec<Vec<(usize, f32)>>) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0);
+        let mut nbrs = Vec::new();
+        for l in lists {
+            nbrs.extend(l);
+            offsets.push(nbrs.len());
+        }
+        Csr { offsets, nbrs }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    /// The neighbours of node `i`.
+    pub fn neighbors(&self, i: usize) -> &[(usize, f32)] {
+        &self.nbrs[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Keep at most `k` heaviest neighbours per node.
+    pub fn top_k(&self, k: usize) -> Csr {
+        let lists = (0..self.num_nodes())
+            .map(|i| {
+                let mut l = self.neighbors(i).to_vec();
+                l.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                l.truncate(k);
+                l
+            })
+            .collect();
+        Csr::from_lists(lists)
+    }
+
+    /// Row-normalise weights so each node's outgoing weights sum to 1.
+    pub fn row_normalized(&self) -> Csr {
+        let lists = (0..self.num_nodes())
+            .map(|i| {
+                let ns = self.neighbors(i);
+                let total: f32 = ns.iter().map(|&(_, w)| w).sum();
+                if total > 0.0 {
+                    ns.iter().map(|&(j, w)| (j, w / total)).collect()
+                } else {
+                    ns.to_vec()
+                }
+            })
+            .collect();
+        Csr::from_lists(lists)
+    }
+
+    /// Look up the weight of edge `i → j`, if present.
+    pub fn weight(&self, i: usize, j: usize) -> Option<f32> {
+        self.neighbors(i).iter().find(|&&(n, _)| n == j).map(|&(_, w)| w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Csr {
+        Csr::from_lists(vec![
+            vec![(1, 2.0), (2, 1.0)],
+            vec![],
+            vec![(0, 4.0), (1, 4.0), (2, 2.0)],
+        ])
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let c = toy();
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.num_edges(), 5);
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.degree(1), 0);
+        assert_eq!(c.neighbors(2).len(), 3);
+    }
+
+    #[test]
+    fn weight_lookup() {
+        let c = toy();
+        assert_eq!(c.weight(0, 1), Some(2.0));
+        assert_eq!(c.weight(1, 0), None);
+    }
+
+    #[test]
+    fn top_k_keeps_heaviest() {
+        let c = toy().top_k(2);
+        assert_eq!(c.degree(2), 2);
+        let ws: Vec<f32> = c.neighbors(2).iter().map(|&(_, w)| w).collect();
+        assert_eq!(ws, vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn row_normalized_sums_to_one() {
+        let c = toy().row_normalized();
+        for i in 0..c.num_nodes() {
+            if c.degree(i) > 0 {
+                let s: f32 = c.neighbors(i).iter().map(|&(_, w)| w).sum();
+                assert!((s - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+}

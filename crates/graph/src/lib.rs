@@ -1,0 +1,16 @@
+//! # ssdrec-graph
+//!
+//! Construction of SSDRec's multi-relation graph `G` (paper §III-A): five
+//! relation types — interacted user–item, transitional and incompatible
+//! item–item, similar and dissimilar user–user — built data-driven from raw
+//! sequences and stored as weighted CSR adjacencies.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod csr;
+pub mod stats;
+
+pub use build::{build_graph, GraphConfig, MultiRelationGraph};
+pub use csr::Csr;
+pub use stats::{summarize, DegreeSummary, GraphReport};

@@ -1,0 +1,126 @@
+//! Diagnostics over a built multi-relation graph: per-relation edge counts,
+//! degree distributions and density — useful for sanity-checking that a
+//! dataset produced the relation structure the encoder expects.
+
+use crate::build::MultiRelationGraph;
+use crate::csr::Csr;
+
+/// Degree summary of one relation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeSummary {
+    /// Directed edge count.
+    pub edges: usize,
+    /// Nodes with at least one neighbour.
+    pub connected_nodes: usize,
+    /// Mean degree over connected nodes.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+/// Summarise one CSR relation (skipping node 0 when `skip_pad`).
+pub fn summarize(csr: &Csr, skip_pad: bool) -> DegreeSummary {
+    let start = usize::from(skip_pad);
+    let mut edges = 0usize;
+    let mut connected = 0usize;
+    let mut max_degree = 0usize;
+    for i in start..csr.num_nodes() {
+        let d = csr.degree(i);
+        edges += d;
+        if d > 0 {
+            connected += 1;
+        }
+        max_degree = max_degree.max(d);
+    }
+    DegreeSummary {
+        edges,
+        connected_nodes: connected,
+        mean_degree: if connected > 0 { edges as f64 / connected as f64 } else { 0.0 },
+        max_degree,
+    }
+}
+
+/// A full per-relation report.
+#[derive(Clone, Debug)]
+pub struct GraphReport {
+    /// `(relation name, summary)` rows in a stable order.
+    pub relations: Vec<(&'static str, DegreeSummary)>,
+}
+
+impl GraphReport {
+    /// Build the report for a graph.
+    pub fn new(g: &MultiRelationGraph) -> Self {
+        GraphReport {
+            relations: vec![
+                ("transitional (out)", summarize(&g.trans_out, true)),
+                ("transitional (in)", summarize(&g.trans_in, true)),
+                ("incompatible", summarize(&g.incompatible, true)),
+                ("user→item", summarize(&g.user_item, false)),
+                ("item→user", summarize(&g.item_user, true)),
+                ("similar users", summarize(&g.similar, false)),
+                ("dissimilar users", summarize(&g.dissimilar, false)),
+            ],
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<20} {:>8} {:>10} {:>10} {:>8}\n",
+            "relation", "edges", "connected", "mean.deg", "max.deg"
+        );
+        for (name, s) in &self.relations {
+            out.push_str(&format!(
+                "{name:<20} {:>8} {:>10} {:>10.2} {:>8}\n",
+                s.edges, s.connected_nodes, s.mean_degree, s.max_degree
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, GraphConfig};
+    use ssdrec_data::SyntheticConfig;
+
+    #[test]
+    fn summarize_counts() {
+        let csr = Csr::from_lists(vec![vec![(1, 1.0)], vec![], vec![(0, 1.0), (1, 1.0)]]);
+        let s = summarize(&csr, false);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.connected_nodes, 2);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_pad_excludes_node_zero() {
+        let csr = Csr::from_lists(vec![vec![(1, 1.0), (2, 1.0)], vec![(0, 1.0)], vec![]]);
+        let with = summarize(&csr, false);
+        let without = summarize(&csr, true);
+        assert_eq!(with.edges - without.edges, 2);
+    }
+
+    #[test]
+    fn report_covers_all_relations() {
+        let ds = SyntheticConfig::beauty().scaled(0.15).generate();
+        let g = build_graph(&ds, &GraphConfig::default());
+        let report = GraphReport::new(&g);
+        assert_eq!(report.relations.len(), 7);
+        // Interactional relations always exist for nonempty data.
+        let ui = report.relations.iter().find(|(n, _)| *n == "user→item").unwrap().1;
+        assert!(ui.edges > 0);
+        let table = report.to_table();
+        assert!(table.contains("transitional"));
+        assert!(table.lines().count() >= 8);
+    }
+
+    #[test]
+    fn empty_relation_summarises_cleanly() {
+        let csr = Csr::from_lists(vec![vec![], vec![]]);
+        let s = summarize(&csr, false);
+        assert_eq!(s, DegreeSummary { edges: 0, connected_nodes: 0, mean_degree: 0.0, max_degree: 0 });
+    }
+}

@@ -1,0 +1,155 @@
+//! Beyond-accuracy metrics: catalogue coverage, recommendation concentration
+//! (Gini) and popularity bias.
+//!
+//! Sequence denoising changes *which* items get recommended, not just how
+//! accurately — e.g. removing accidental interactions on viral items should
+//! reduce popularity bias. These metrics quantify that side of the story.
+
+/// Accumulates the top-K lists served to users.
+#[derive(Clone, Debug)]
+pub struct RecListAccumulator {
+    num_items: usize,
+    counts: Vec<usize>,
+    lists: usize,
+    list_len_total: usize,
+}
+
+impl RecListAccumulator {
+    /// A new accumulator for a catalogue of `num_items` items
+    /// (IDs `1..=num_items`).
+    pub fn new(num_items: usize) -> Self {
+        RecListAccumulator { num_items, counts: vec![0; num_items + 1], lists: 0, list_len_total: 0 }
+    }
+
+    /// Record one served top-K list.
+    ///
+    /// # Panics
+    /// Panics if an item ID is out of range (0 = pad is also rejected:
+    /// serving the pad item is always a bug).
+    pub fn push(&mut self, items: &[usize]) {
+        for &it in items {
+            assert!(it >= 1 && it <= self.num_items, "recommended item {it} out of catalogue");
+            self.counts[it] += 1;
+        }
+        self.lists += 1;
+        self.list_len_total += items.len();
+    }
+
+    /// Number of lists recorded.
+    pub fn num_lists(&self) -> usize {
+        self.lists
+    }
+
+    /// Mean length of the recorded lists.
+    pub fn mean_list_len(&self) -> f64 {
+        if self.lists == 0 {
+            0.0
+        } else {
+            self.list_len_total as f64 / self.lists as f64
+        }
+    }
+
+    /// Catalogue coverage: fraction of items recommended at least once.
+    pub fn coverage(&self) -> f64 {
+        if self.num_items == 0 {
+            return 0.0;
+        }
+        let covered = self.counts.iter().skip(1).filter(|&&c| c > 0).count();
+        covered as f64 / self.num_items as f64
+    }
+
+    /// Gini coefficient of recommendation counts over the catalogue
+    /// (0 = perfectly even exposure, → 1 = all exposure on one item).
+    pub fn gini(&self) -> f64 {
+        let mut xs: Vec<f64> = self.counts.iter().skip(1).map(|&c| c as f64).collect();
+        let total: f64 = xs.iter().sum();
+        if total == 0.0 || xs.len() < 2 {
+            return 0.0;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = xs.len() as f64;
+        let weighted: f64 = xs.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+        (2.0 * weighted / (n * total)) - (n + 1.0) / n
+    }
+
+    /// Mean popularity of recommended items, where `popularity[i]` is item
+    /// `i`'s training frequency — higher means stronger popularity bias.
+    pub fn popularity_bias(&self, popularity: &[usize]) -> f64 {
+        assert!(popularity.len() > self.num_items, "popularity table too short");
+        let mut total = 0.0f64;
+        let mut n = 0usize;
+        for (i, &c) in self.counts.iter().enumerate().skip(1) {
+            total += popularity[i] as f64 * c as f64;
+            n += c;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let mut acc = RecListAccumulator::new(10);
+        acc.push(&[1, 2, 3]);
+        acc.push(&[2, 3, 4]);
+        assert!((acc.coverage() - 0.4).abs() < 1e-12);
+        assert_eq!(acc.num_lists(), 2);
+    }
+
+    #[test]
+    fn gini_zero_for_uniform_exposure() {
+        let mut acc = RecListAccumulator::new(4);
+        acc.push(&[1, 2, 3, 4]);
+        assert!(acc.gini().abs() < 1e-9, "gini {}", acc.gini());
+    }
+
+    #[test]
+    fn gini_approaches_one_for_concentration() {
+        let mut acc = RecListAccumulator::new(100);
+        for _ in 0..50 {
+            acc.push(&[7]);
+        }
+        assert!(acc.gini() > 0.95, "gini {}", acc.gini());
+    }
+
+    #[test]
+    fn gini_monotone_in_concentration() {
+        let mut even = RecListAccumulator::new(4);
+        even.push(&[1, 2, 3, 4]);
+        let mut skewed = RecListAccumulator::new(4);
+        skewed.push(&[1, 1, 1, 2]);
+        skewed.push(&[1]);
+        assert!(skewed.gini() > even.gini());
+    }
+
+    #[test]
+    fn popularity_bias_weighted_mean() {
+        let mut acc = RecListAccumulator::new(3);
+        acc.push(&[1, 3]);
+        // popularity: pad, 10, 20, 30
+        let bias = acc.popularity_bias(&[0, 10, 20, 30]);
+        assert!((bias - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pad_item_rejected() {
+        let mut acc = RecListAccumulator::new(3);
+        acc.push(&[0]);
+    }
+
+    #[test]
+    fn empty_accumulator_is_neutral() {
+        let acc = RecListAccumulator::new(5);
+        assert_eq!(acc.coverage(), 0.0);
+        assert_eq!(acc.gini(), 0.0);
+        assert_eq!(acc.popularity_bias(&[0; 6]), 0.0);
+    }
+}

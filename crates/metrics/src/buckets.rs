@@ -1,0 +1,132 @@
+//! Metrics bucketed by sequence length.
+//!
+//! The paper's central motivation is that denoising is least reliable — and
+//! augmentation most valuable — on *short* sequences (§I: "especially for
+//! short sequences"). This module makes that claim measurable: every example
+//! is recorded with its history length, and any metric can be read per
+//! length bucket.
+
+use crate::ranking::{MetricReport, RankingAccumulator};
+
+/// Length-bucket boundaries: a rank landing in bucket `i` has history length
+/// in `[edges[i], edges[i+1])`; the last bucket is open-ended.
+#[derive(Clone, Debug)]
+pub struct LengthBuckets {
+    edges: Vec<usize>,
+    accs: Vec<RankingAccumulator>,
+}
+
+impl LengthBuckets {
+    /// Buckets from boundary edges, e.g. `[0, 5, 10, 20]` gives
+    /// `[0,5) [5,10) [10,20) [20,∞)`.
+    ///
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: &[usize]) -> Self {
+        assert!(!edges.is_empty(), "need at least one edge");
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must increase");
+        LengthBuckets {
+            edges: edges.to_vec(),
+            accs: vec![RankingAccumulator::new(); edges.len()],
+        }
+    }
+
+    /// The paper-motivated default: short `[0,10)`, medium `[10,25)`,
+    /// long `[25,∞)`.
+    pub fn short_medium_long() -> Self {
+        Self::new(&[0, 10, 25])
+    }
+
+    fn bucket_of(&self, len: usize) -> usize {
+        self.edges.iter().rposition(|&e| len >= e).unwrap_or_default()
+    }
+
+    /// Record one example's rank with its history length.
+    pub fn push(&mut self, seq_len: usize, rank: usize) {
+        let b = self.bucket_of(seq_len);
+        self.accs[b].push_rank(rank);
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Human-readable label for bucket `i` (e.g. `"[5,10)"`, `"[25,+)"`).
+    pub fn label(&self, i: usize) -> String {
+        match self.edges.get(i + 1) {
+            Some(hi) => format!("[{},{})", self.edges[i], hi),
+            None => format!("[{},+)", self.edges[i]),
+        }
+    }
+
+    /// Example count in bucket `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.accs[i].len()
+    }
+
+    /// Metric report for bucket `i`.
+    pub fn report(&self, i: usize) -> MetricReport {
+        self.accs[i].report()
+    }
+
+    /// Per-bucket `(label, count, report)` rows.
+    pub fn rows(&self) -> Vec<(String, usize, MetricReport)> {
+        (0..self.num_buckets())
+            .map(|i| (self.label(i), self.count(i), self.report(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_assignment() {
+        let b = LengthBuckets::new(&[0, 5, 10]);
+        assert_eq!(b.bucket_of(0), 0);
+        assert_eq!(b.bucket_of(4), 0);
+        assert_eq!(b.bucket_of(5), 1);
+        assert_eq!(b.bucket_of(9), 1);
+        assert_eq!(b.bucket_of(10), 2);
+        assert_eq!(b.bucket_of(1000), 2);
+    }
+
+    #[test]
+    fn labels() {
+        let b = LengthBuckets::new(&[0, 5, 10]);
+        assert_eq!(b.label(0), "[0,5)");
+        assert_eq!(b.label(1), "[5,10)");
+        assert_eq!(b.label(2), "[10,+)");
+    }
+
+    #[test]
+    fn metrics_separate_per_bucket() {
+        let mut b = LengthBuckets::new(&[0, 10]);
+        b.push(3, 1); // short: perfect
+        b.push(4, 1);
+        b.push(15, 100); // long: miss
+        assert_eq!(b.count(0), 2);
+        assert_eq!(b.count(1), 1);
+        assert_eq!(b.report(0).hr20, 1.0);
+        assert_eq!(b.report(1).hr20, 0.0);
+    }
+
+    #[test]
+    fn rows_cover_all_buckets() {
+        let mut b = LengthBuckets::short_medium_long();
+        b.push(2, 5);
+        b.push(12, 5);
+        b.push(30, 5);
+        let rows = b.rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|(_, c, _)| *c == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_edges() {
+        LengthBuckets::new(&[5, 0]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # ssdrec-metrics
+//!
+//! Evaluation machinery for the SSDRec reproduction: full-ranking HR@K /
+//! NDCG@K / MRR@K (paper §IV-A1), Welch two-sided t-tests for the paper's
+//! significance claims, and over/under-denoising (OUP) ratios for Fig. 1.
+
+#![warn(missing_docs)]
+
+pub mod beyond;
+pub mod buckets;
+pub mod oup;
+pub mod ranking;
+pub mod stats;
+
+pub use beyond::RecListAccumulator;
+pub use buckets::LengthBuckets;
+pub use oup::OupAccumulator;
+pub use ranking::{full_rank, MetricReport, RankingAccumulator};
+pub use stats::{t_two_sided_p, welch_t_test, TTest};

@@ -1,0 +1,128 @@
+//! Over/under-denoising (OUP) measurement — the paper's Fig. 1.
+//!
+//! Given ground-truth noise flags and a denoiser's keep/drop decisions:
+//!
+//! * **under-denoising ratio** = kept noise / total noise
+//!   ("how many inserted items will be kept"),
+//! * **over-denoising ratio** = dropped clean items / total clean items
+//!   ("how many raw items will be dropped").
+
+/// Accumulates OUP ratios over many sequences.
+#[derive(Clone, Debug, Default)]
+pub struct OupAccumulator {
+    noise_total: usize,
+    noise_kept: usize,
+    clean_total: usize,
+    clean_dropped: usize,
+}
+
+impl OupAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sequence's outcome. `is_noise[i]` is the ground truth for
+    /// position `i`; `kept[i]` is whether the denoiser kept that position.
+    ///
+    /// # Panics
+    /// Panics if the two slices differ in length.
+    pub fn push(&mut self, is_noise: &[bool], kept: &[bool]) {
+        assert_eq!(is_noise.len(), kept.len(), "OUP label/decision mismatch");
+        for (&n, &k) in is_noise.iter().zip(kept) {
+            if n {
+                self.noise_total += 1;
+                if k {
+                    self.noise_kept += 1;
+                }
+            } else {
+                self.clean_total += 1;
+                if !k {
+                    self.clean_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Kept-noise fraction (0 when no noise was present).
+    pub fn under_denoising_ratio(&self) -> f64 {
+        if self.noise_total == 0 {
+            0.0
+        } else {
+            self.noise_kept as f64 / self.noise_total as f64
+        }
+    }
+
+    /// Dropped-clean fraction (0 when no clean items were present).
+    pub fn over_denoising_ratio(&self) -> f64 {
+        if self.clean_total == 0 {
+            0.0
+        } else {
+            self.clean_dropped as f64 / self.clean_total as f64
+        }
+    }
+
+    /// Total positions recorded.
+    pub fn total(&self) -> usize {
+        self.noise_total + self.clean_total
+    }
+
+    /// Overall fraction of positions dropped (the paper reports per-dataset
+    /// drop ratios in §IV-E).
+    pub fn drop_ratio(&self) -> f64 {
+        let dropped = self.clean_dropped + (self.noise_total - self.noise_kept);
+        if self.total() == 0 {
+            0.0
+        } else {
+            dropped as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_denoiser_has_zero_oup() {
+        let mut acc = OupAccumulator::new();
+        acc.push(&[false, true, false], &[true, false, true]);
+        assert_eq!(acc.under_denoising_ratio(), 0.0);
+        assert_eq!(acc.over_denoising_ratio(), 0.0);
+    }
+
+    #[test]
+    fn keep_everything_maximises_under_denoising() {
+        let mut acc = OupAccumulator::new();
+        acc.push(&[true, true, false], &[true, true, true]);
+        assert_eq!(acc.under_denoising_ratio(), 1.0);
+        assert_eq!(acc.over_denoising_ratio(), 0.0);
+    }
+
+    #[test]
+    fn drop_everything_maximises_over_denoising() {
+        let mut acc = OupAccumulator::new();
+        acc.push(&[true, false, false], &[false, false, false]);
+        assert_eq!(acc.under_denoising_ratio(), 0.0);
+        assert_eq!(acc.over_denoising_ratio(), 1.0);
+        assert_eq!(acc.drop_ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratios_accumulate_across_sequences() {
+        let mut acc = OupAccumulator::new();
+        acc.push(&[true, false], &[true, true]); // keeps 1 noise
+        acc.push(&[true, false], &[false, false]); // drops 1 clean
+        assert_eq!(acc.under_denoising_ratio(), 0.5);
+        assert_eq!(acc.over_denoising_ratio(), 0.5);
+        assert_eq!(acc.total(), 4);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let acc = OupAccumulator::new();
+        assert_eq!(acc.under_denoising_ratio(), 0.0);
+        assert_eq!(acc.over_denoising_ratio(), 0.0);
+        assert_eq!(acc.drop_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Full-ranking top-K metrics: HR@K, NDCG@K, MRR@K (paper §IV-A1).
+//!
+//! Following the paper, metrics are computed over the *entire item universe*
+//! (full ranking), never over sampled negatives, to avoid sampling bias
+//! [Krichene & Rendle, KDD'20].
+
+/// The rank (1-based) of `target` among `scores`, where `scores[i]` is the
+/// model score of item ID `i` (index 0 = padding, ignored).
+///
+/// Ties are resolved pessimistically: items with a strictly higher score and
+/// lower-ID items with an equal score rank ahead of the target.
+pub fn full_rank(scores: &[f32], target: usize) -> usize {
+    let ts = scores[target];
+    let mut rank = 1usize;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if i == target {
+            continue;
+        }
+        if s > ts || (s == ts && i < target) {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Accumulates ranking metrics over many evaluation examples.
+#[derive(Clone, Debug, Default)]
+pub struct RankingAccumulator {
+    ranks: Vec<usize>,
+}
+
+impl RankingAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one example given full-catalogue `scores` and the true item.
+    pub fn push_scores(&mut self, scores: &[f32], target: usize) {
+        self.ranks.push(full_rank(scores, target));
+    }
+
+    /// Record one example given a precomputed rank (1-based).
+    pub fn push_rank(&mut self, rank: usize) {
+        assert!(rank >= 1, "ranks are 1-based");
+        self.ranks.push(rank);
+    }
+
+    /// Number of examples recorded.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Hit Ratio @ K: fraction of examples ranked within the top K.
+    pub fn hr(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let hits = self.ranks.iter().filter(|&&r| r <= k).count();
+        hits as f64 / self.ranks.len() as f64
+    }
+
+    /// NDCG @ K: `1 / log2(rank + 1)` for hits, 0 otherwise (single target,
+    /// so IDCG = 1).
+    pub fn ndcg(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .ranks
+            .iter()
+            .map(|&r| if r <= k { 1.0 / ((r as f64) + 1.0).log2() } else { 0.0 })
+            .sum();
+        sum / self.ranks.len() as f64
+    }
+
+    /// MRR @ K: reciprocal rank for hits, 0 otherwise.
+    pub fn mrr(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .ranks
+            .iter()
+            .map(|&r| if r <= k { 1.0 / r as f64 } else { 0.0 })
+            .sum();
+        sum / self.ranks.len() as f64
+    }
+
+    /// The raw recorded ranks (1-based), in insertion order.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Per-example binary hit indicators @ K (for significance testing).
+    pub fn hit_indicators(&self, k: usize) -> Vec<f64> {
+        self.ranks.iter().map(|&r| if r <= k { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// The paper's standard report: HR@{5,10,20}, NDCG@{5,10,20}, MRR@20.
+    pub fn report(&self) -> MetricReport {
+        MetricReport {
+            hr5: self.hr(5),
+            hr10: self.hr(10),
+            hr20: self.hr(20),
+            ndcg5: self.ndcg(5),
+            ndcg10: self.ndcg(10),
+            ndcg20: self.ndcg(20),
+            mrr20: self.mrr(20),
+        }
+    }
+}
+
+/// The seven-metric row used throughout the paper's tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricReport {
+    /// Hit ratio at 5.
+    pub hr5: f64,
+    /// Hit ratio at 10.
+    pub hr10: f64,
+    /// Hit ratio at 20.
+    pub hr20: f64,
+    /// NDCG at 5.
+    pub ndcg5: f64,
+    /// NDCG at 10.
+    pub ndcg10: f64,
+    /// NDCG at 20.
+    pub ndcg20: f64,
+    /// MRR at 20.
+    pub mrr20: f64,
+}
+
+impl MetricReport {
+    /// Mean relative improvement of `self` over `base` across all seven
+    /// metrics, as a percentage (the paper's "Improvement" rows).
+    pub fn improvement_over(&self, base: &MetricReport) -> f64 {
+        let pairs = [
+            (self.hr5, base.hr5),
+            (self.hr10, base.hr10),
+            (self.hr20, base.hr20),
+            (self.ndcg5, base.ndcg5),
+            (self.ndcg10, base.ndcg10),
+            (self.ndcg20, base.ndcg20),
+            (self.mrr20, base.mrr20),
+        ];
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (a, b) in pairs {
+            if b > 0.0 {
+                total += (a - b) / b * 100.0;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MetricReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HR@5 {:.4}  HR@10 {:.4}  HR@20 {:.4}  N@5 {:.4}  N@10 {:.4}  N@20 {:.4}  MRR {:.4}",
+            self.hr5, self.hr10, self.hr20, self.ndcg5, self.ndcg10, self.ndcg20, self.mrr20
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_rank_basics() {
+        // scores for items 1..=4 (index 0 = pad)
+        let scores = [0.0, 0.9, 0.5, 0.7, 0.1];
+        assert_eq!(full_rank(&scores, 1), 1);
+        assert_eq!(full_rank(&scores, 3), 2);
+        assert_eq!(full_rank(&scores, 2), 3);
+        assert_eq!(full_rank(&scores, 4), 4);
+    }
+
+    #[test]
+    fn full_rank_tie_is_pessimistic() {
+        let scores = [0.0, 0.5, 0.5, 0.5];
+        assert_eq!(full_rank(&scores, 3), 3);
+        assert_eq!(full_rank(&scores, 1), 1);
+    }
+
+    #[test]
+    fn hr_counts_hits() {
+        let mut acc = RankingAccumulator::new();
+        acc.push_rank(1);
+        acc.push_rank(5);
+        acc.push_rank(11);
+        acc.push_rank(30);
+        assert!((acc.hr(5) - 0.5).abs() < 1e-12);
+        assert!((acc.hr(10) - 0.5).abs() < 1e-12);
+        assert!((acc.hr(20) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_discounts_by_rank() {
+        let mut acc = RankingAccumulator::new();
+        acc.push_rank(1);
+        assert!((acc.ndcg(10) - 1.0).abs() < 1e-12);
+        let mut acc2 = RankingAccumulator::new();
+        acc2.push_rank(2);
+        assert!((acc2.ndcg(10) - 1.0 / 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_is_reciprocal() {
+        let mut acc = RankingAccumulator::new();
+        acc.push_rank(4);
+        assert!((acc.mrr(20) - 0.25).abs() < 1e-12);
+        assert_eq!(acc.mrr(3), 0.0);
+    }
+
+    #[test]
+    fn metric_ordering_invariants() {
+        // HR and NDCG are monotone in K; HR ≥ NDCG ≥ MRR at equal K.
+        let mut acc = RankingAccumulator::new();
+        for r in [1, 2, 3, 7, 9, 15, 40, 2, 6] {
+            acc.push_rank(r);
+        }
+        assert!(acc.hr(5) <= acc.hr(10));
+        assert!(acc.hr(10) <= acc.hr(20));
+        assert!(acc.ndcg(20) <= acc.hr(20) + 1e-12);
+        assert!(acc.mrr(20) <= acc.ndcg(20) + 1e-12);
+    }
+
+    #[test]
+    fn improvement_is_percentage() {
+        let base = MetricReport { hr5: 0.1, hr10: 0.2, hr20: 0.4, ndcg5: 0.05, ndcg10: 0.1, ndcg20: 0.2, mrr20: 0.1 };
+        let better = MetricReport {
+            hr5: 0.2,
+            hr10: 0.4,
+            hr20: 0.8,
+            ndcg5: 0.1,
+            ndcg10: 0.2,
+            ndcg20: 0.4,
+            mrr20: 0.2,
+        };
+        assert!((better.improvement_over(&base) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_path_matches_rank_path() {
+        let scores = [0.0, 0.3, 0.9, 0.1];
+        let mut a = RankingAccumulator::new();
+        a.push_scores(&scores, 1);
+        let mut b = RankingAccumulator::new();
+        b.push_rank(full_rank(&scores, 1));
+        assert_eq!(a.hr(2), b.hr(2));
+    }
+}

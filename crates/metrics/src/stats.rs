@@ -1,0 +1,178 @@
+//! Significance testing: Welch's two-sided t-test.
+//!
+//! The paper reports all improvements as significant under a two-sided
+//! t-test with p < 0.05 over per-user metric indicators.
+
+/// Result of a two-sample Welch t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Regularised incomplete beta function via continued fractions
+/// (Lentz's algorithm), used for the t-distribution CDF.
+fn betai(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    // Continued fraction.
+    let cf = |a: f64, b: f64, x: f64| -> f64 {
+        let mut c = 1.0f64;
+        let mut d = 1.0 - (a + b) * x / (a + 1.0);
+        if d.abs() < 1e-30 {
+            d = 1e-30;
+        }
+        d = 1.0 / d;
+        let mut h = d;
+        for m in 1..200 {
+            let m = m as f64;
+            let num1 = m * (b - m) * x / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+            d = 1.0 + num1 * d;
+            if d.abs() < 1e-30 {
+                d = 1e-30;
+            }
+            c = 1.0 + num1 / c;
+            if c.abs() < 1e-30 {
+                c = 1e-30;
+            }
+            d = 1.0 / d;
+            h *= d * c;
+            let num2 = -(a + m) * (a + b + m) * x / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+            d = 1.0 + num2 * d;
+            if d.abs() < 1e-30 {
+                d = 1e-30;
+            }
+            c = 1.0 + num2 / c;
+            if c.abs() < 1e-30 {
+                c = 1e-30;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-12 {
+                break;
+            }
+        }
+        h
+    };
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * cf(a, b, x) / a
+    } else {
+        // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a), which keeps the continued
+        // fraction in its fast-converging region.
+        1.0 - betai(b, a, 1.0 - x)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_4e-5,
+        0.0,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for gj in G.iter().take(6) {
+        y += 1.0;
+        ser += gj / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Two-sided p-value of a t statistic under `df` degrees of freedom.
+pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    betai(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Welch's two-sample t-test over per-example metric values.
+///
+/// # Panics
+/// Panics if either sample has fewer than two observations.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTest {
+    assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 observations per sample");
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        // Identical constant samples: no evidence of difference.
+        let p = if (ma - mb).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return TTest { t: if p == 1.0 { 0.0 } else { f64::INFINITY }, df: na + nb - 2.0, p };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    TTest { t, df, p: t_two_sided_p(t, df) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let tt = welch_t_test(&a, &a);
+        assert!(tt.p > 0.9, "p = {}", tt.p);
+    }
+
+    #[test]
+    fn clearly_different_samples_significant() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 0.0 + (i % 3) as f64 * 0.1).collect();
+        let tt = welch_t_test(&a, &b);
+        assert!(tt.p < 1e-6, "p = {}", tt.p);
+        assert!(tt.t > 0.0);
+    }
+
+    #[test]
+    fn p_value_symmetry() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| i as f64 + 5.0).collect();
+        let ab = welch_t_test(&a, &b);
+        let ba = welch_t_test(&b, &a);
+        assert!((ab.p - ba.p).abs() < 1e-12);
+        assert!((ab.t + ba.t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_sanity() {
+        // For df → large, t = 1.96 gives p ≈ 0.05.
+        let p = t_two_sided_p(1.96, 1000.0);
+        assert!((p - 0.05).abs() < 0.005, "p = {p}");
+        // t = 0 is never significant.
+        assert!((t_two_sided_p(0.0, 10.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_equal_samples() {
+        let a = vec![0.5; 10];
+        let tt = welch_t_test(&a, &a);
+        assert_eq!(tt.p, 1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # ssdrec-models
+//!
+//! The six sequential-recommender backbones the paper evaluates (Table III):
+//! GRU4Rec, NARM, STAMP, Caser, SASRec and BERT4Rec — all re-implemented on
+//! the workspace's autograd substrate — plus the shared [`trainer`] used by
+//! every model in the workspace (Adam, full-ranking CE, early stopping).
+
+#![warn(missing_docs)]
+
+pub mod backbones;
+pub mod encoder;
+pub mod model;
+pub mod trainer;
+
+pub use backbones::{
+    Bert4RecEncoder, CaserEncoder, Gru4RecEncoder, NarmEncoder, PositionalEmbedding,
+    SasRecEncoder, StampEncoder,
+};
+pub use encoder::{BackboneKind, SeqEncoder};
+pub use model::{build_encoder, Objective, RecModel, SeqRec};
+pub use trainer::{evaluate, train, LrSchedule, TrainConfig, TrainReport};

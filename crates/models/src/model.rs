@@ -1,0 +1,369 @@
+//! [`SeqRec`]: a complete sequential recommender = item embeddings + a
+//! backbone encoder + a tied-weight full-catalogue scorer, plus the
+//! [`RecModel`] trait every trainable model in the workspace implements.
+
+use ssdrec_data::Batch;
+use ssdrec_tensor::nn::Embedding;
+use ssdrec_tensor::{Binding, Graph, ParamStore, Rng, Tensor, Var};
+
+use crate::backbones::{
+    Bert4RecEncoder, CaserEncoder, Gru4RecEncoder, NarmEncoder, SasRecEncoder, StampEncoder,
+};
+use crate::encoder::{BackboneKind, SeqEncoder};
+
+/// Build a boxed backbone encoder of the given kind.
+///
+/// Transformer backbones use 2 layers × 2 heads; Caser uses 16 filters per
+/// height — scaled-down analogues of the paper's settings.
+pub fn build_encoder(
+    kind: BackboneKind,
+    store: &mut ParamStore,
+    d: usize,
+    max_len: usize,
+    rng: &mut Rng,
+) -> Box<dyn SeqEncoder> {
+    match kind {
+        BackboneKind::Gru4Rec => Box::new(Gru4RecEncoder::new(store, d, rng)),
+        BackboneKind::Narm => Box::new(NarmEncoder::new(store, d, rng)),
+        BackboneKind::Stamp => Box::new(StampEncoder::new(store, d, rng)),
+        BackboneKind::Caser => Box::new(CaserEncoder::new(store, d, 16, rng)),
+        BackboneKind::SasRec => Box::new(SasRecEncoder::new(store, d, max_len, 2, 2, rng)),
+        BackboneKind::Bert4Rec => Box::new(Bert4RecEncoder::new(store, d, max_len, 2, 2, rng)),
+    }
+}
+
+/// Anything the shared trainer can optimise and evaluate.
+pub trait RecModel {
+    /// The parameter store (for binding/optimizer steps).
+    fn store(&self) -> &ParamStore;
+    /// Mutable access to the parameter store.
+    fn store_mut(&mut self) -> &mut ParamStore;
+    /// Training loss for one batch (stochastic parts enabled).
+    fn loss(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: &mut Rng) -> Var;
+    /// Full-catalogue logits `B×(V+1)` for evaluation (deterministic).
+    fn eval_scores(&self, g: &mut Graph, bind: &Binding, batch: &Batch) -> Var;
+    /// Hook called after every optimisation step (e.g. τ annealing).
+    fn after_step(&mut self) {}
+    /// Hook called at the start of each epoch with `(epoch, total_epochs)`
+    /// — used for curricula such as SSDRec's augmentation warm-up.
+    fn on_epoch_start(&mut self, _epoch: usize, _total: usize) {}
+    /// Display name.
+    fn model_name(&self) -> String;
+
+    /// Recommend the top-`k` items for a user given their history, as
+    /// `(item, score)` pairs in descending score order. This is the
+    /// serving-time API every model in the workspace shares.
+    fn recommend(&self, user: usize, seq: &[usize], k: usize) -> Vec<(usize, f32)> {
+        assert!(!seq.is_empty(), "cannot recommend from an empty history");
+        let batch = Batch {
+            users: vec![user],
+            items: seq.to_vec(),
+            seq_len: seq.len(),
+            targets: vec![seq[seq.len() - 1]],
+            noise: None,
+        };
+        let mut g = Graph::new();
+        let bind = self.store().bind_all(&mut g);
+        let scores = self.eval_scores(&mut g, &bind, &batch);
+        let row = g.value(scores).data();
+        let mut ranked: Vec<(usize, f32)> = row
+            .iter()
+            .enumerate()
+            .skip(1) // never recommend the pad item
+            .map(|(i, &s)| (i, s))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// Which training objective a [`SeqRec`] uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Cross-entropy at the final position only (the workspace default,
+    /// shared by every model so Table III compares encoders, not losses).
+    #[default]
+    LastPosition,
+    /// Autoregressive cross-entropy at *every* position (how the original
+    /// SASRec is trained). Requires a causal encoder
+    /// ([`SeqEncoder::encode_causal_all`]); falls back to last-position for
+    /// non-causal backbones.
+    AllPositions,
+    /// Bayesian Personalized Ranking with sampled negatives — the
+    /// "ranking-based loss" the paper attributes to GRU4Rec [12]. Pairwise:
+    /// `−log σ(score(target) − score(negative))` averaged over `negatives`
+    /// uniform non-target samples per example.
+    Bpr {
+        /// Negatives sampled per example.
+        negatives: usize,
+    },
+}
+
+/// A vanilla sequential recommender: embeddings → encoder → tied scorer.
+pub struct SeqRec {
+    /// Trainable parameters.
+    pub store: ParamStore,
+    /// The `V+1 × d` item table (row 0 = padding).
+    pub item_emb: Embedding,
+    /// The backbone.
+    pub encoder: Box<dyn SeqEncoder>,
+    /// Embedding width.
+    pub dim: usize,
+    /// Dropout probability on embedded sequences during training.
+    pub dropout: f32,
+    /// Training objective.
+    pub objective: Objective,
+    num_items: usize,
+}
+
+impl SeqRec {
+    /// Build a recommender with the given backbone.
+    pub fn new(kind: BackboneKind, num_items: usize, dim: usize, max_len: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(seed);
+        let item_emb = Embedding::new(&mut store, "item", num_items + 1, dim, &mut rng);
+        let encoder = build_encoder(kind, &mut store, dim, max_len, &mut rng);
+        SeqRec { store, item_emb, encoder, dim, dropout: 0.1, objective: Objective::default(), num_items }
+    }
+
+    /// Number of real items (catalogue size).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Embed a batch's item IDs into `B×T×d`.
+    pub fn embed_batch(&self, g: &mut Graph, bind: &Binding, batch: &Batch) -> Var {
+        self.item_emb.lookup_seq(g, bind, &batch.items, batch.len(), batch.seq_len)
+    }
+
+    /// Score a sequence representation `B×d` against the whole catalogue,
+    /// with the padding item masked out: `h_S · Eᵀ` (tied weights).
+    pub fn score_repr(&self, g: &mut Graph, bind: &Binding, h_s: Var) -> Var {
+        let table = self.item_emb.table(bind);
+        let tt = g.transpose_last(table); // d×(V+1)
+        let logits = g.matmul(h_s, tt); // B×(V+1)
+        let mut mask = Tensor::zeros(&[self.num_items + 1]);
+        mask.data_mut()[0] = -1e9;
+        let mv = g.constant(mask);
+        g.add_bcast(logits, mv)
+    }
+
+    /// Full forward for a batch; `rng` enables dropout (training mode).
+    pub fn forward(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: Option<&mut Rng>) -> Var {
+        let mut h = self.embed_batch(g, bind, batch);
+        if let Some(rng) = rng {
+            if self.dropout > 0.0 {
+                let mask = rng.dropout_mask(g.value(h).len(), self.dropout);
+                h = g.dropout_with_mask(h, mask);
+            }
+        }
+        let h_s = self.encoder.encode(g, bind, h);
+        self.score_repr(g, bind, h_s)
+    }
+
+    /// Full-catalogue cross-entropy against the batch targets.
+    pub fn ce_loss(&self, g: &mut Graph, logits: Var, targets: &[usize]) -> Var {
+        let logp = g.log_softmax_last(logits);
+        let picked = g.pick_per_row(logp, targets);
+        let mean = g.mean_all(picked);
+        g.neg(mean)
+    }
+
+    /// BPR pairwise ranking loss over sampled negatives.
+    fn bpr_loss(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: &mut Rng, negatives: usize) -> Var {
+        assert!(negatives > 0, "BPR needs at least one negative");
+        let mut h = self.embed_batch(g, bind, batch);
+        if self.dropout > 0.0 {
+            let mask = rng.dropout_mask(g.value(h).len(), self.dropout);
+            h = g.dropout_with_mask(h, mask);
+        }
+        let h_s = self.encoder.encode(g, bind, h); // B×d
+        let tgt = self.item_emb.lookup(g, bind, &batch.targets); // B×d
+        let pm = g.mul(h_s, tgt);
+        let pos = g.sum_last(pm); // B
+
+        let mut total: Option<Var> = None;
+        for _ in 0..negatives {
+            let neg_ids: Vec<usize> = batch
+                .targets
+                .iter()
+                .map(|&t| {
+                    let mut n = rng.below(self.num_items) + 1;
+                    if n == t {
+                        n = n % self.num_items + 1;
+                    }
+                    n
+                })
+                .collect();
+            let neg = self.item_emb.lookup(g, bind, &neg_ids);
+            let nm = g.mul(h_s, neg);
+            let negs = g.sum_last(nm);
+            let diff = g.sub(pos, negs);
+            let p = g.sigmoid(diff);
+            let l = g.ln(p);
+            let l = g.mean_all(l);
+            total = Some(match total {
+                None => l,
+                Some(t) => g.add(t, l),
+            });
+        }
+        let sum = total.expect("negatives > 0");
+        let mean = g.scale(sum, 1.0 / negatives as f32);
+        g.neg(mean)
+    }
+
+    /// Autoregressive loss: every causal position `t` predicts the item at
+    /// `t+1` (the batch target for the final position). Returns `None` when
+    /// the encoder is not position-wise causal.
+    fn all_positions_loss(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: &mut Rng) -> Option<Var> {
+        let b = batch.len();
+        let t = batch.seq_len;
+        let mut h = self.embed_batch(g, bind, batch);
+        if self.dropout > 0.0 {
+            let mask = rng.dropout_mask(g.value(h).len(), self.dropout);
+            h = g.dropout_with_mask(h, mask);
+        }
+        let states = self.encoder.encode_causal_all(g, bind, h)?; // B×T×d
+        let flat = g.reshape(states, &[b * t, self.dim]);
+        let logits = self.score_repr(g, bind, flat); // (B·T)×(V+1)
+        // Position t predicts s_{t+1}; the last position predicts the target.
+        let mut targets = Vec::with_capacity(b * t);
+        for i in 0..b {
+            let seq = batch.seq(i);
+            for ti in 0..t {
+                targets.push(if ti + 1 < t { seq[ti + 1] } else { batch.targets[i] });
+            }
+        }
+        Some(self.ce_loss(g, logits, &targets))
+    }
+}
+
+impl RecModel for SeqRec {
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn loss(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: &mut Rng) -> Var {
+        match self.objective {
+            Objective::AllPositions => {
+                if let Some(loss) = self.all_positions_loss(g, bind, batch, rng) {
+                    return loss;
+                }
+            }
+            Objective::Bpr { negatives } => {
+                return self.bpr_loss(g, bind, batch, rng, negatives);
+            }
+            Objective::LastPosition => {}
+        }
+        let logits = self.forward(g, bind, batch, Some(rng));
+        self.ce_loss(g, logits, &batch.targets)
+    }
+
+    fn eval_scores(&self, g: &mut Graph, bind: &Binding, batch: &Batch) -> Var {
+        self.forward(g, bind, batch, None)
+    }
+
+    fn model_name(&self) -> String {
+        self.encoder.name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdrec_data::Example;
+
+    fn toy_batch() -> Batch {
+        Batch {
+            users: vec![0, 1],
+            items: vec![1, 2, 3, 4, 5, 6],
+            seq_len: 3,
+            targets: vec![4, 1],
+            noise: None,
+        }
+    }
+
+    #[test]
+    fn forward_scores_have_catalogue_width() {
+        let model = SeqRec::new(BackboneKind::Gru4Rec, 10, 8, 20, 0);
+        let mut g = Graph::new();
+        let bind = model.store.bind_all(&mut g);
+        let s = model.forward(&mut g, &bind, &toy_batch(), None);
+        assert_eq!(g.value(s).shape(), &[2, 11]);
+    }
+
+    #[test]
+    fn pad_item_never_recommended() {
+        let model = SeqRec::new(BackboneKind::SasRec, 10, 8, 20, 1);
+        let mut g = Graph::new();
+        let bind = model.store.bind_all(&mut g);
+        let s = model.forward(&mut g, &bind, &toy_batch(), None);
+        for row in g.value(s).data().chunks(11) {
+            assert!(row[0] < -1e8, "pad score {}", row[0]);
+        }
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let model = SeqRec::new(BackboneKind::Narm, 10, 8, 20, 2);
+        let mut g = Graph::new();
+        let bind = model.store.bind_all(&mut g);
+        let mut rng = Rng::seed(0);
+        let loss = model.loss(&mut g, &bind, &toy_batch(), &mut rng);
+        let lv = g.value(loss).item();
+        assert!(lv.is_finite() && lv > 0.0, "loss {lv}");
+    }
+
+    #[test]
+    fn eval_is_deterministic() {
+        let model = SeqRec::new(BackboneKind::Stamp, 10, 8, 20, 3);
+        let run = || {
+            let mut g = Graph::new();
+            let bind = model.store.bind_all(&mut g);
+            let s = model.eval_scores(&mut g, &bind, &toy_batch());
+            g.value(s).data().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recommend_returns_sorted_topk_without_pad() {
+        let model = SeqRec::new(BackboneKind::SasRec, 10, 8, 20, 5);
+        let recs = model.recommend(0, &[1, 2, 3], 5);
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|&(i, _)| (1..=10).contains(&i)));
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not sorted: {recs:?}");
+        }
+    }
+
+    #[test]
+    fn recommend_k_larger_than_catalogue_is_clamped() {
+        let model = SeqRec::new(BackboneKind::Gru4Rec, 4, 8, 20, 6);
+        let recs = model.recommend(0, &[1, 2], 100);
+        assert_eq!(recs.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn recommend_rejects_empty_history() {
+        let model = SeqRec::new(BackboneKind::Gru4Rec, 4, 8, 20, 7);
+        model.recommend(0, &[], 3);
+    }
+
+    #[test]
+    fn example_roundtrip_through_batching() {
+        let examples = vec![Example { user: 0, seq: vec![1, 2], target: 3, noise: None }];
+        let batches = ssdrec_data::make_batches(&examples, 8, 0);
+        let model = SeqRec::new(BackboneKind::Caser, 5, 8, 20, 4);
+        let mut g = Graph::new();
+        let bind = model.store.bind_all(&mut g);
+        let s = model.eval_scores(&mut g, &bind, &batches[0]);
+        assert_eq!(g.value(s).shape(), &[1, 6]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Shared training loop: Adam, full-catalogue cross-entropy, early stopping
+//! on validation HR@20 with patience (paper §IV-A3), and timed evaluation.
+
+use std::time::Instant;
+
+use ssdrec_data::{make_batches, Example, Split};
+use ssdrec_metrics::{full_rank, RankingAccumulator};
+use ssdrec_tensor::{Adam, Graph, Rng};
+
+use crate::model::RecModel;
+
+/// Learning-rate schedule applied on top of the base rate.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum LrSchedule {
+    /// Constant learning rate (the paper's setting).
+    #[default]
+    Constant,
+    /// Linear warm-up from 0 to the base rate over the first `warmup_steps`
+    /// optimisation steps, then constant. Stabilises the first updates of
+    /// the deeper SSDRec stack.
+    WarmupLinear {
+        /// Steps to reach the base rate.
+        warmup_steps: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier to apply to the base learning rate at `step` (1-based).
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::WarmupLinear { warmup_steps } => {
+                if warmup_steps == 0 {
+                    1.0
+                } else {
+                    (step as f32 / warmup_steps as f32).min(1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Training hyper-parameters (defaults follow the paper where feasible).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 256; scaled-down default here).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f32,
+    /// L2 regularisation coefficient (paper searches {0, 1e-3, 1e-4}).
+    pub weight_decay: f32,
+    /// Early-stopping patience in epochs on validation HR@20 (paper: 10).
+    pub patience: usize,
+    /// RNG seed for shuffling/dropout.
+    pub seed: u64,
+    /// Print a one-line log per epoch.
+    pub verbose: bool,
+    /// Learning-rate schedule.
+    pub lr_schedule: LrSchedule,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            lr: 1e-3,
+            weight_decay: 0.0,
+            patience: 10,
+            seed: 7,
+            verbose: false,
+            lr_schedule: LrSchedule::default(),
+        }
+    }
+}
+
+/// What the trainer measured.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Epochs actually run (≤ `epochs` under early stopping).
+    pub epochs_run: usize,
+    /// Best validation metrics (the restored checkpoint).
+    pub valid: ssdrec_metrics::MetricReport,
+    /// Test metrics of the restored best checkpoint.
+    pub test: ssdrec_metrics::MetricReport,
+    /// Per-example test ranks (for significance testing).
+    pub test_ranks: Vec<usize>,
+    /// Mean wall-clock seconds per training epoch (Table VI "Training").
+    pub train_secs_per_epoch: f64,
+    /// Wall-clock seconds for one full test inference pass (Table VI).
+    pub infer_secs: f64,
+    /// Final training loss.
+    pub final_loss: f32,
+}
+
+/// Evaluate a model on a set of examples, returning the rank accumulator.
+pub fn evaluate<M: RecModel>(model: &M, examples: &[Example], batch_size: usize) -> RankingAccumulator {
+    let mut acc = RankingAccumulator::new();
+    let batches = make_batches(examples, batch_size, 0);
+    for batch in &batches {
+        let mut g = Graph::new();
+        let bind = model.store().bind_all(&mut g);
+        let scores = model.eval_scores(&mut g, &bind, batch);
+        let sv = g.value(scores);
+        let v = sv.shape()[1];
+        for (i, &target) in batch.targets.iter().enumerate() {
+            let row = &sv.data()[i * v..(i + 1) * v];
+            acc.push_rank(full_rank(row, target));
+        }
+    }
+    acc
+}
+
+/// Train a model with Adam + early stopping; restores the best checkpoint
+/// before the final test evaluation.
+pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> TrainReport {
+    let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut rng = Rng::seed(cfg.seed);
+
+    let mut best_hr20 = f64::NEG_INFINITY;
+    let mut best_snapshot = model.store().snapshot();
+    let mut best_valid = ssdrec_metrics::MetricReport::default();
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+    let mut total_train_secs = 0.0f64;
+    let mut final_loss = f32::NAN;
+
+    for epoch in 0..cfg.epochs {
+        epochs_run = epoch + 1;
+        model.on_epoch_start(epoch, cfg.epochs);
+        let t0 = Instant::now();
+        let batches = make_batches(&split.train, cfg.batch_size, cfg.seed.wrapping_add(epoch as u64));
+        let mut epoch_loss = 0.0f32;
+        let mut nb = 0usize;
+        for batch in &batches {
+            let mut g = Graph::new();
+            let bind = model.store().bind_all(&mut g);
+            let loss = model.loss(&mut g, &bind, batch, &mut rng);
+            let lv = g.value(loss).item();
+            if lv.is_finite() {
+                epoch_loss += lv;
+                nb += 1;
+                let mut grads = g.backward(loss);
+                opt.lr = cfg.lr * cfg.lr_schedule.factor(opt.steps() + 1);
+                opt.step(model.store_mut(), &bind, &mut grads);
+            }
+            model.after_step();
+        }
+        total_train_secs += t0.elapsed().as_secs_f64();
+        final_loss = if nb > 0 { epoch_loss / nb as f32 } else { f32::NAN };
+
+        let vacc = evaluate(model, &split.valid, cfg.batch_size);
+        let hr20 = vacc.hr(20);
+        if cfg.verbose {
+            eprintln!(
+                "[{}] epoch {epoch}: loss {final_loss:.4}, valid HR@20 {hr20:.4}",
+                model.model_name()
+            );
+        }
+        if hr20 > best_hr20 {
+            best_hr20 = hr20;
+            best_snapshot = model.store().snapshot();
+            best_valid = vacc.report();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+
+    model.store_mut().restore(&best_snapshot);
+
+    let t0 = Instant::now();
+    let tacc = evaluate(model, &split.test, cfg.batch_size);
+    let infer_secs = t0.elapsed().as_secs_f64();
+
+    TrainReport {
+        epochs_run,
+        valid: best_valid,
+        test: tacc.report(),
+        test_ranks: tacc.ranks().to_vec(),
+        train_secs_per_epoch: if epochs_run > 0 { total_train_secs / epochs_run as f64 } else { 0.0 },
+        infer_secs,
+        final_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::BackboneKind;
+    use crate::model::SeqRec;
+    use ssdrec_data::{prepare, SyntheticConfig};
+
+    fn small_split() -> (usize, Split) {
+        let ds = SyntheticConfig::beauty().scaled(0.15).with_seed(3).generate();
+        let (filtered, split) = prepare(&ds, 50, 2);
+        (filtered.num_items, split)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_beats_random() {
+        let (num_items, split) = small_split();
+        let mut model = SeqRec::new(BackboneKind::Gru4Rec, num_items, 16, 50, 0);
+        let cfg = TrainConfig { epochs: 5, batch_size: 32, patience: 10, ..TrainConfig::default() };
+        let report = train(&mut model, &split, &cfg);
+        assert!(report.final_loss.is_finite());
+        // Random ranking would give HR@20 ≈ 20 / num_items.
+        let random_hr = 20.0 / num_items as f64;
+        assert!(
+            report.test.hr20 > random_hr,
+            "HR@20 {} not above random {}",
+            report.test.hr20,
+            random_hr
+        );
+    }
+
+    #[test]
+    fn early_stopping_restores_best() {
+        let (num_items, split) = small_split();
+        let mut model = SeqRec::new(BackboneKind::Stamp, num_items, 8, 50, 1);
+        let cfg = TrainConfig { epochs: 3, batch_size: 32, patience: 1, ..TrainConfig::default() };
+        let report = train(&mut model, &split, &cfg);
+        // Restored model must reproduce the reported valid metrics.
+        let vacc = evaluate(&model, &split.valid, 32);
+        assert!((vacc.hr(20) - report.valid.hr20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_times_are_positive() {
+        let (num_items, split) = small_split();
+        let mut model = SeqRec::new(BackboneKind::Gru4Rec, num_items, 8, 50, 2);
+        let cfg = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+        let report = train(&mut model, &split, &cfg);
+        assert!(report.train_secs_per_epoch > 0.0);
+        assert!(report.infer_secs > 0.0);
+        assert_eq!(report.epochs_run, 1);
+    }
+}
+
+#[cfg(test)]
+mod objective_tests {
+    use super::*;
+    use crate::encoder::BackboneKind;
+    use crate::model::{Objective, SeqRec};
+    use ssdrec_data::{prepare, SyntheticConfig};
+
+    #[test]
+    fn all_positions_objective_trains_causal_backbones() {
+        let ds = SyntheticConfig::beauty().scaled(0.15).with_seed(3).generate();
+        let (filtered, split) = prepare(&ds, 50, 2);
+        for kind in [BackboneKind::SasRec, BackboneKind::Gru4Rec] {
+            let mut model = SeqRec::new(kind, filtered.num_items, 8, 50, 0);
+            model.objective = Objective::AllPositions;
+            let cfg = TrainConfig { epochs: 5, batch_size: 32, patience: 10, ..TrainConfig::default() };
+            let report = train(&mut model, &split, &cfg);
+            assert!(report.final_loss.is_finite(), "{kind:?} diverged");
+            let random = 20.0 / filtered.num_items as f64;
+            assert!(report.test.hr20 > random, "{kind:?} below random");
+        }
+    }
+
+    #[test]
+    fn all_positions_falls_back_for_non_causal() {
+        // STAMP has no causal per-position states; the objective must fall
+        // back to last-position rather than fail.
+        let ds = SyntheticConfig::beauty().scaled(0.12).with_seed(4).generate();
+        let (filtered, split) = prepare(&ds, 50, 2);
+        let mut model = SeqRec::new(BackboneKind::Stamp, filtered.num_items, 8, 50, 1);
+        model.objective = Objective::AllPositions;
+        let cfg = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+        let report = train(&mut model, &split, &cfg);
+        assert!(report.final_loss.is_finite());
+    }
+}
+
+#[cfg(test)]
+mod bpr_tests {
+    use super::*;
+    use crate::encoder::BackboneKind;
+    use crate::model::{Objective, SeqRec};
+    use ssdrec_data::{prepare, SyntheticConfig};
+
+    #[test]
+    fn bpr_objective_learns_ranking() {
+        let ds = SyntheticConfig::beauty().scaled(0.15).with_seed(5).generate();
+        let (filtered, split) = prepare(&ds, 50, 2);
+        let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 2);
+        model.objective = Objective::Bpr { negatives: 4 };
+        let cfg = TrainConfig { epochs: 5, batch_size: 32, patience: 10, ..TrainConfig::default() };
+        let report = train(&mut model, &split, &cfg);
+        assert!(report.final_loss.is_finite() && report.final_loss > 0.0);
+        let random = 20.0 / filtered.num_items as f64;
+        assert!(report.test.hr20 > random, "BPR below random");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bpr_rejects_zero_negatives() {
+        let ds = SyntheticConfig::beauty().scaled(0.1).with_seed(6).generate();
+        let (filtered, split) = prepare(&ds, 50, 2);
+        let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 3);
+        model.objective = Objective::Bpr { negatives: 0 };
+        let cfg = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+        train(&mut model, &split, &cfg);
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+
+    #[test]
+    fn warmup_factor_ramps_then_saturates() {
+        let s = LrSchedule::WarmupLinear { warmup_steps: 10 };
+        assert!((s.factor(1) - 0.1).abs() < 1e-6);
+        assert!((s.factor(5) - 0.5).abs() < 1e-6);
+        assert_eq!(s.factor(10), 1.0);
+        assert_eq!(s.factor(1000), 1.0);
+    }
+
+    #[test]
+    fn constant_and_zero_warmup_are_identity() {
+        assert_eq!(LrSchedule::Constant.factor(1), 1.0);
+        assert_eq!(LrSchedule::WarmupLinear { warmup_steps: 0 }.factor(1), 1.0);
+    }
+
+    #[test]
+    fn warmup_training_runs() {
+        use crate::encoder::BackboneKind;
+        use crate::model::SeqRec;
+        use ssdrec_data::{prepare, SyntheticConfig};
+        let ds = SyntheticConfig::beauty().scaled(0.1).with_seed(9).generate();
+        let (filtered, split) = prepare(&ds, 50, 2);
+        let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 0);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            lr_schedule: LrSchedule::WarmupLinear { warmup_steps: 5 },
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &split, &cfg);
+        assert!(report.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,1055 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation eagerly (forward values are computed at
+//! build time) and can then back-propagate from any scalar node. Nodes are
+//! referenced by lightweight [`Var`] handles; creation order is a valid
+//! topological order, so the backward pass is a single reverse sweep.
+//!
+//! A fresh graph is built per training step; long-lived parameters live
+//! outside the graph (see [`crate::optim`]) and are re-registered as leaves
+//! each step via [`Graph::param`].
+
+use crate::kernels;
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The raw node index (useful for mapping parameter gradients back).
+    pub fn id(self) -> usize {
+        self.0
+    }
+}
+
+/// The recorded operation for one node. Stored so the backward pass can
+/// dispatch without closures.
+#[derive(Debug)]
+enum Op {
+    /// Leaf (constant or parameter); no parents.
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    /// `a + broadcast(b)` where `b`'s shape is a suffix of `a`'s.
+    AddBcast(Var, Var),
+    /// `a * broadcast(b)` where `b`'s shape is a suffix of `a`'s.
+    MulBcast(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Exp(Var),
+    /// Natural log of `max(x, LN_CLAMP)`.
+    Ln(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    Sqrt(Var),
+    /// Element-wise maximum; gradient routes to the larger input (ties → lhs).
+    Max2(Var, Var),
+    /// Matrix product supporting 2×2, 3×3 (batched), 3×2 and 2×3 operand ranks.
+    Matmul(Var, Var),
+    /// Swap the last two dimensions (2-D or 3-D input).
+    TransposeLast(Var),
+    SoftmaxLast(Var),
+    LogSoftmaxLast(Var),
+    /// Layer normalisation over the last dimension: `(x, gamma, beta)`.
+    LayerNorm(Var, Var, Var),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Sum over the last dimension (drops it; scalars become shape `[1]`).
+    SumLast(Var),
+    /// Sum over the time axis: `B×T×d → B×d`.
+    SumTime(Var),
+    /// Concatenate along the last dimension.
+    ConcatLast(Vec<Var>),
+    /// Slice `[start, start+len)` of the last dimension.
+    SliceLast(Var, usize, usize),
+    /// Slice `[start, start+len)` of the time axis of a `B×T×d` tensor.
+    SliceTime(Var, usize, usize),
+    /// Pick time step `t` from `B×T×d`, yielding `B×d`.
+    SelectTime(Var, usize),
+    /// Stack `T` tensors of shape `B×d` into `B×T×d`.
+    StackTime(Vec<Var>),
+    /// Row gather from a `V×d` weight by indices, yielding `N×d`.
+    Embedding(Var, Vec<usize>),
+    /// Pick one column per row of a 2-D tensor, yielding shape `[B]`.
+    PickPerRow(Var, Vec<usize>),
+    Reshape(Var),
+    /// Multiply by a fixed 0/1 (already scaled) dropout mask.
+    Dropout(Var, Vec<f32>),
+    /// Identity with severed gradient.
+    Detach,
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var::id`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the loss w.r.t. `v`, if it participated in the loss.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Take ownership of the gradient for `v`.
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+}
+
+/// An eagerly-evaluated autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// Lower bound applied inside [`Graph::ln`] to keep logs finite.
+pub const LN_CLAMP: f32 = 1e-12;
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Register a constant leaf (no gradient).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, false)
+    }
+
+    /// Register a trainable-parameter leaf (gradient will be produced).
+    pub fn param(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, true)
+    }
+
+    // ----- element-wise binary ------------------------------------------------
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::zip(self.value(a), self.value(b), |x, y| x + y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::Add(a, b), rg)
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::zip(self.value(a), self.value(b), |x, y| x - y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::Sub(a, b), rg)
+    }
+
+    /// `a * b` element-wise (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::zip(self.value(a), self.value(b), |x, y| x * y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::Mul(a, b), rg)
+    }
+
+    /// `a / b` element-wise (same shape).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::zip(self.value(a), self.value(b), |x, y| x / y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::Div(a, b), rg)
+    }
+
+    /// `a + broadcast(b)`, where `b.shape` must be a suffix of `a.shape`.
+    pub fn add_bcast(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::bcast_zip(self.value(a), self.value(b), |x, y| x + y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::AddBcast(a, b), rg)
+    }
+
+    /// `a * broadcast(b)`, where `b.shape` must be a suffix of `a.shape`.
+    pub fn mul_bcast(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::bcast_zip(self.value(a), self.value(b), |x, y| x * y);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::MulBcast(a, b), rg)
+    }
+
+    // ----- element-wise unary -------------------------------------------------
+
+    /// `a * c` for a scalar constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let t = self.value(a).map(|x| x * c);
+        let rg = self.rg(a);
+        self.push(t, Op::Scale(a, c), rg)
+    }
+
+    /// `a + c` for a scalar constant `c`.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let t = self.value(a).map(|x| x + c);
+        let rg = self.rg(a);
+        self.push(t, Op::AddScalar(a), rg)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        self.scale(a, -1.0)
+    }
+
+    /// `exp(a)`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let t = self.value(a).map(f32::exp);
+        let rg = self.rg(a);
+        self.push(t, Op::Exp(a), rg)
+    }
+
+    /// `ln(max(a, LN_CLAMP))` — clamped for numerical safety.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let t = self.value(a).map(|x| x.max(LN_CLAMP).ln());
+        let rg = self.rg(a);
+        self.push(t, Op::Ln(a), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let rg = self.rg(a);
+        self.push(t, Op::Sigmoid(a), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let t = self.value(a).map(f32::tanh);
+        let rg = self.rg(a);
+        self.push(t, Op::Tanh(a), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let t = self.value(a).map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(t, Op::Relu(a), rg)
+    }
+
+    /// `sqrt(a)` (inputs must be non-negative).
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let t = self.value(a).map(f32::sqrt);
+        let rg = self.rg(a);
+        self.push(t, Op::Sqrt(a), rg)
+    }
+
+    /// Element-wise maximum of two same-shape tensors.
+    pub fn max2(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::zip(self.value(a), self.value(b), f32::max);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::Max2(a, b), rg)
+    }
+
+    // ----- linear algebra -------------------------------------------------
+
+    /// Matrix multiplication with rank promotion:
+    /// `2×2`, `3×3` (batched, equal batch), `3×2` (rhs broadcast over batch),
+    /// and `2×3` (lhs broadcast over batch).
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t = kernels::matmul(self.value(a), self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(t, Op::Matmul(a, b), rg)
+    }
+
+    /// Swap the last two dimensions of a 2-D or 3-D tensor.
+    pub fn transpose_last(&mut self, a: Var) -> Var {
+        let t = kernels::transpose_last(self.value(a));
+        let rg = self.rg(a);
+        self.push(t, Op::TransposeLast(a), rg)
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let t = kernels::softmax_last(self.value(a));
+        let rg = self.rg(a);
+        self.push(t, Op::SoftmaxLast(a), rg)
+    }
+
+    /// Log-softmax over the last dimension.
+    pub fn log_softmax_last(&mut self, a: Var) -> Var {
+        let t = kernels::log_softmax_last(self.value(a));
+        let rg = self.rg(a);
+        self.push(t, Op::LogSoftmaxLast(a), rg)
+    }
+
+    /// Layer normalisation over the last dimension, with learnable scale
+    /// `gamma` and shift `beta` (both of the last-dimension length).
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
+        let t = kernels::layer_norm(self.value(x), self.value(gamma), self.value(beta));
+        let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
+        self.push(t, Op::LayerNorm(x, gamma, beta), rg)
+    }
+
+    // ----- reductions / shape ----------------------------------------------
+
+    /// Sum of all elements (shape `[1]`).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let t = Tensor::scalar(self.value(a).sum());
+        let rg = self.rg(a);
+        self.push(t, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements (shape `[1]`).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).len() as f32;
+        let t = Tensor::scalar(self.value(a).sum() / n);
+        let rg = self.rg(a);
+        self.push(t, Op::MeanAll(a), rg)
+    }
+
+    /// Sum over the last dimension, dropping it (`[B]` stays `[1]`-safe).
+    pub fn sum_last(&mut self, a: Var) -> Var {
+        let t = kernels::sum_last(self.value(a));
+        let rg = self.rg(a);
+        self.push(t, Op::SumLast(a), rg)
+    }
+
+    /// Sum over the time axis: `B×T×d → B×d`.
+    pub fn sum_time(&mut self, a: Var) -> Var {
+        let t = kernels::sum_time(self.value(a));
+        let rg = self.rg(a);
+        self.push(t, Op::SumTime(a), rg)
+    }
+
+    /// Mean over the time axis: `B×T×d → B×d`.
+    pub fn mean_time(&mut self, a: Var) -> Var {
+        let t_len = self.value(a).dims3().1 as f32;
+        let s = self.sum_time(a);
+        self.scale(s, 1.0 / t_len)
+    }
+
+    /// Concatenate tensors along the last dimension (equal leading dims).
+    pub fn concat_last(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_last of nothing");
+        let vals: Vec<&Tensor> = parts.iter().map(|v| self.value(*v)).collect();
+        let t = kernels::concat_last(&vals);
+        let rg = parts.iter().any(|v| self.rg(*v));
+        self.push(t, Op::ConcatLast(parts.to_vec()), rg)
+    }
+
+    /// Slice `[start, start+len)` of the last dimension.
+    pub fn slice_last(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let t = kernels::slice_last(self.value(a), start, len);
+        let rg = self.rg(a);
+        self.push(t, Op::SliceLast(a, start, len), rg)
+    }
+
+    /// Slice `[start, start+len)` of the time axis of a `B×T×d` tensor.
+    pub fn slice_time(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let t = kernels::slice_time(self.value(a), start, len);
+        let rg = self.rg(a);
+        self.push(t, Op::SliceTime(a, start, len), rg)
+    }
+
+    /// Select a single time step from `B×T×d`, yielding `B×d`.
+    pub fn select_time(&mut self, a: Var, t_idx: usize) -> Var {
+        let t = kernels::select_time(self.value(a), t_idx);
+        let rg = self.rg(a);
+        self.push(t, Op::SelectTime(a, t_idx), rg)
+    }
+
+    /// Stack `T` tensors of identical shape `B×d` into `B×T×d`.
+    pub fn stack_time(&mut self, steps: &[Var]) -> Var {
+        assert!(!steps.is_empty(), "stack_time of nothing");
+        let vals: Vec<&Tensor> = steps.iter().map(|v| self.value(*v)).collect();
+        let t = kernels::stack_time(&vals);
+        let rg = steps.iter().any(|v| self.rg(*v));
+        self.push(t, Op::StackTime(steps.to_vec()), rg)
+    }
+
+    /// Gather rows of a `V×d` embedding table, yielding `N×d`.
+    pub fn embedding(&mut self, weight: Var, indices: &[usize]) -> Var {
+        let t = kernels::gather_rows(self.value(weight), indices);
+        let rg = self.rg(weight);
+        self.push(t, Op::Embedding(weight, indices.to_vec()), rg)
+    }
+
+    /// For a `B×V` tensor, pick `a[i, idx[i]]` per row, yielding shape `[B]`.
+    pub fn pick_per_row(&mut self, a: Var, idx: &[usize]) -> Var {
+        let t = kernels::pick_per_row(self.value(a), idx);
+        let rg = self.rg(a);
+        self.push(t, Op::PickPerRow(a, idx.to_vec()), rg)
+    }
+
+    /// Reinterpret under a new shape with equal element count.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let t = self.value(a).clone().reshaped(shape);
+        let rg = self.rg(a);
+        self.push(t, Op::Reshape(a), rg)
+    }
+
+    /// Inverted dropout with keep-prob scaling; `mask[i] ∈ {0, 1/(1-p)}`.
+    pub fn dropout_with_mask(&mut self, a: Var, mask: Vec<f32>) -> Var {
+        assert_eq!(mask.len(), self.value(a).len(), "dropout mask length");
+        let t = {
+            let v = self.value(a);
+            let data = v.data().iter().zip(mask.iter()).map(|(x, m)| x * m).collect();
+            Tensor::new(data, v.shape())
+        };
+        let rg = self.rg(a);
+        self.push(t, Op::Dropout(a, mask), rg)
+    }
+
+    /// Identity in value, but blocks gradient flow.
+    pub fn detach(&mut self, a: Var) -> Var {
+        let t = self.value(a).clone();
+        self.push(t, Op::Detach, false)
+    }
+
+    // ----- backward ---------------------------------------------------------
+
+    /// Back-propagate from a scalar `loss` node, returning per-node gradients.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).len(), 1, "backward from non-scalar node");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for id in (0..=loss.0).rev() {
+            let node = &self.nodes[id];
+            if grads[id].is_none() || !node.requires_grad {
+                grads[id] = None;
+                continue;
+            }
+            if matches!(node.op, Op::Leaf) {
+                // Keep leaf (parameter) gradients for the caller.
+                continue;
+            }
+            let gout = grads[id].take().expect("checked above");
+            self.backprop_node(node, &gout, &mut grads);
+        }
+        Gradients { grads }
+    }
+
+    fn accum(&self, grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+        if !self.rg(v) {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(acc) => acc.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    fn backprop_node(&self, node: &Node, gout: &Tensor, grads: &mut [Option<Tensor>]) {
+        match &node.op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accum(grads, *a, gout.clone());
+                self.accum(grads, *b, gout.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accum(grads, *a, gout.clone());
+                self.accum(grads, *b, gout.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                if self.rg(*a) {
+                    self.accum(grads, *a, kernels::zip(gout, self.value(*b), |g, y| g * y));
+                }
+                if self.rg(*b) {
+                    self.accum(grads, *b, kernels::zip(gout, self.value(*a), |g, x| g * x));
+                }
+            }
+            Op::Div(a, b) => {
+                let bv = self.value(*b);
+                if self.rg(*a) {
+                    self.accum(grads, *a, kernels::zip(gout, bv, |g, y| g / y));
+                }
+                if self.rg(*b) {
+                    let av = self.value(*a);
+                    let mut g = Tensor::zeros(bv.shape());
+                    for i in 0..g.len() {
+                        g.data_mut()[i] = -gout.data()[i] * av.data()[i] / (bv.data()[i] * bv.data()[i]);
+                    }
+                    self.accum(grads, *b, g);
+                }
+            }
+            Op::AddBcast(a, b) => {
+                self.accum(grads, *a, gout.clone());
+                if self.rg(*b) {
+                    self.accum(grads, *b, kernels::reduce_to_suffix(gout, self.value(*b).shape()));
+                }
+            }
+            Op::MulBcast(a, b) => {
+                let av = self.value(*a);
+                let bv = self.value(*b);
+                if self.rg(*a) {
+                    self.accum(grads, *a, kernels::bcast_zip(gout, bv, |g, y| g * y));
+                }
+                if self.rg(*b) {
+                    let prod = kernels::zip(gout, av, |g, x| g * x);
+                    self.accum(grads, *b, kernels::reduce_to_suffix(&prod, bv.shape()));
+                }
+            }
+            Op::Scale(a, c) => self.accum(grads, *a, gout.map(|g| g * c)),
+            Op::AddScalar(a) => self.accum(grads, *a, gout.clone()),
+            Op::Exp(a) => {
+                self.accum(grads, *a, kernels::zip(gout, &node.value, |g, y| g * y));
+            }
+            Op::Ln(a) => {
+                let av = self.value(*a);
+                self.accum(grads, *a, kernels::zip(gout, av, |g, x| g / x.max(LN_CLAMP)));
+            }
+            Op::Sigmoid(a) => {
+                self.accum(grads, *a, kernels::zip(gout, &node.value, |g, y| g * y * (1.0 - y)));
+            }
+            Op::Tanh(a) => {
+                self.accum(grads, *a, kernels::zip(gout, &node.value, |g, y| g * (1.0 - y * y)));
+            }
+            Op::Relu(a) => {
+                let av = self.value(*a);
+                self.accum(grads, *a, kernels::zip(gout, av, |g, x| if x > 0.0 { g } else { 0.0 }));
+            }
+            Op::Sqrt(a) => {
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::zip(gout, &node.value, |g, y| if y > 0.0 { g / (2.0 * y) } else { 0.0 }),
+                );
+            }
+            Op::Max2(a, b) => {
+                let av = self.value(*a);
+                let bv = self.value(*b);
+                if self.rg(*a) {
+                    let mut g = Tensor::zeros(av.shape());
+                    for i in 0..g.len() {
+                        if av.data()[i] >= bv.data()[i] {
+                            g.data_mut()[i] = gout.data()[i];
+                        }
+                    }
+                    self.accum(grads, *a, g);
+                }
+                if self.rg(*b) {
+                    let mut g = Tensor::zeros(bv.shape());
+                    for i in 0..g.len() {
+                        if bv.data()[i] > av.data()[i] {
+                            g.data_mut()[i] = gout.data()[i];
+                        }
+                    }
+                    self.accum(grads, *b, g);
+                }
+            }
+            Op::Matmul(a, b) => {
+                let (ga, gb) = kernels::matmul_backward(self.value(*a), self.value(*b), gout);
+                if self.rg(*a) {
+                    self.accum(grads, *a, ga);
+                }
+                if self.rg(*b) {
+                    self.accum(grads, *b, gb);
+                }
+            }
+            Op::TransposeLast(a) => {
+                self.accum(grads, *a, kernels::transpose_last(gout));
+            }
+            Op::SoftmaxLast(a) => {
+                self.accum(grads, *a, kernels::softmax_last_backward(&node.value, gout));
+            }
+            Op::LogSoftmaxLast(a) => {
+                self.accum(grads, *a, kernels::log_softmax_last_backward(&node.value, gout));
+            }
+            Op::LayerNorm(x, gamma, beta) => {
+                let (gx, gg, gb) = kernels::layer_norm_backward(
+                    self.value(*x),
+                    self.value(*gamma),
+                    gout,
+                );
+                if self.rg(*x) {
+                    self.accum(grads, *x, gx);
+                }
+                if self.rg(*gamma) {
+                    self.accum(grads, *gamma, gg);
+                }
+                if self.rg(*beta) {
+                    self.accum(grads, *beta, gb);
+                }
+            }
+            Op::SumAll(a) => {
+                let g = gout.item();
+                self.accum(grads, *a, Tensor::full(self.value(*a).shape(), g));
+            }
+            Op::MeanAll(a) => {
+                let n = self.value(*a).len() as f32;
+                let g = gout.item() / n;
+                self.accum(grads, *a, Tensor::full(self.value(*a).shape(), g));
+            }
+            Op::SumLast(a) => {
+                self.accum(grads, *a, kernels::sum_last_backward(self.value(*a).shape(), gout));
+            }
+            Op::SumTime(a) => {
+                self.accum(grads, *a, kernels::sum_time_backward(self.value(*a).shape(), gout));
+            }
+            Op::ConcatLast(parts) => {
+                let shapes: Vec<&[usize]> = parts.iter().map(|v| self.value(*v).shape()).collect();
+                let gs = kernels::concat_last_backward(&shapes, gout);
+                for (v, g) in parts.iter().zip(gs) {
+                    self.accum(grads, *v, g);
+                }
+            }
+            Op::SliceLast(a, start, _len) => {
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::slice_last_backward(self.value(*a).shape(), *start, gout),
+                );
+            }
+            Op::SliceTime(a, start, _len) => {
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::slice_time_backward(self.value(*a).shape(), *start, gout),
+                );
+            }
+            Op::SelectTime(a, t) => {
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::select_time_backward(self.value(*a).shape(), *t, gout),
+                );
+            }
+            Op::StackTime(steps) => {
+                for (t, v) in steps.iter().enumerate() {
+                    if self.rg(*v) {
+                        self.accum(grads, *v, kernels::select_time(gout, t));
+                    }
+                }
+            }
+            Op::Embedding(w, idx) => {
+                if self.rg(*w) {
+                    self.accum(grads, *w, kernels::scatter_rows(self.value(*w).shape(), idx, gout));
+                }
+            }
+            Op::PickPerRow(a, idx) => {
+                let shape = self.value(*a).shape();
+                let mut g = Tensor::zeros(shape);
+                let cols = shape[1];
+                for (i, &j) in idx.iter().enumerate() {
+                    g.data_mut()[i * cols + j] = gout.data()[i];
+                }
+                self.accum(grads, *a, g);
+            }
+            Op::Reshape(a) => {
+                let ash = self.value(*a).shape().to_vec();
+                self.accum(grads, *a, gout.clone().reshaped(&ash));
+            }
+            Op::Dropout(a, mask) => {
+                let data = gout.data().iter().zip(mask.iter()).map(|(g, m)| g * m).collect();
+                self.accum(grads, *a, Tensor::new(data, gout.shape()));
+            }
+            Op::Detach => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference check of `d loss / d x[i]` for every input
+    /// element, against the autograd gradient.
+    fn check_grad(
+        build: impl Fn(&mut Graph, Var) -> Var,
+        x0: Tensor,
+        tol: f32,
+    ) {
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let loss = build(&mut g, x);
+        let grads = g.backward(loss);
+        let analytic = grads.get(x).expect("no grad").clone();
+
+        let eps = 1e-3f32;
+        for i in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.data_mut()[i] += eps;
+            let mut gp = Graph::new();
+            let vp = gp.param(xp);
+            let lp_var = build(&mut gp, vp);
+            let lp = gp.value(lp_var).item();
+
+            let mut xm = x0.clone();
+            xm.data_mut()[i] -= eps;
+            let mut gm = Graph::new();
+            let vm = gm.param(xm);
+            let lm_var = build(&mut gm, vm);
+            let lm = gm.value(lm_var).item();
+
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = analytic.data()[i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                "grad mismatch at {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor {
+        Tensor::new(v.to_vec(), s)
+    }
+
+    #[test]
+    fn grad_add_mul_chain() {
+        check_grad(
+            |g, x| {
+                let y = g.mul(x, x);
+                let z = g.add(y, x);
+                g.sum_all(z)
+            },
+            t(&[0.5, -1.2, 2.0], &[3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_div() {
+        check_grad(
+            |g, x| {
+                let c = g.constant(t(&[2.0, 4.0, -3.0], &[3]));
+                let q = g.div(x, c);
+                let q2 = g.div(c, x);
+                let s = g.add(q, q2);
+                g.sum_all(s)
+            },
+            t(&[1.5, -2.0, 0.7], &[3]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        check_grad(
+            |g, x| {
+                let a = g.sigmoid(x);
+                let b = g.tanh(x);
+                let c = g.relu(x);
+                let e = g.exp(x);
+                let ab = g.add(a, b);
+                let ce = g.add(c, e);
+                let s = g.add(ab, ce);
+                g.sum_all(s)
+            },
+            t(&[0.3, -0.8, 1.1, 0.01], &[4]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_ln_sqrt() {
+        check_grad(
+            |g, x| {
+                let l = g.ln(x);
+                let s = g.sqrt(x);
+                let y = g.add(l, s);
+                g.sum_all(y)
+            },
+            t(&[0.5, 1.5, 3.0], &[3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_2x2() {
+        let b0 = t(&[1.0, -2.0, 0.5, 3.0, 1.0, -1.0], &[3, 2]);
+        check_grad(
+            move |g, x| {
+                let b = g.param(b0.clone());
+                let y = g.matmul(x, b);
+                g.sum_all(y)
+            },
+            t(&[0.2, 0.4, -0.6, 1.0, 2.0, -1.0], &[2, 3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_batched() {
+        let b0 = t(&(0..12).map(|i| 0.1 * i as f32 - 0.5).collect::<Vec<_>>(), &[2, 3, 2]);
+        check_grad(
+            move |g, x| {
+                let b = g.param(b0.clone());
+                let y = g.matmul(x, b);
+                g.sum_all(y)
+            },
+            t(&(0..12).map(|i| 0.05 * i as f32).collect::<Vec<_>>(), &[2, 2, 3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_mixed_3x2() {
+        let b0 = t(&[0.5, -0.2, 0.1, 0.9, -1.0, 0.3], &[3, 2]);
+        check_grad(
+            move |g, x| {
+                let b = g.param(b0.clone());
+                let y = g.matmul(x, b); // (2,2,3)x(3,2)
+                g.sum_all(y)
+            },
+            t(&(0..12).map(|i| 0.07 * i as f32 - 0.3).collect::<Vec<_>>(), &[2, 2, 3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_mixed_2x3() {
+        // lhs 2-D broadcast over the rhs batch.
+        let x0 = t(&[0.3, -0.1, 0.2, 0.5, 0.7, -0.4], &[2, 3]);
+        check_grad(
+            move |g, x| {
+                let b = g.constant(t(
+                    &(0..18).map(|i| 0.05 * i as f32 - 0.4).collect::<Vec<_>>(),
+                    &[3, 3, 2],
+                ));
+                let y = g.matmul(x, b); // (2,3)x(3,3,2) -> (3,2,2)
+                g.sum_all(y)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_logsoftmax() {
+        check_grad(
+            |g, x| {
+                let s = g.softmax_last(x);
+                let l = g.log_softmax_last(x);
+                let w = g.constant(t(&[1.0, -2.0, 0.5, 0.3, 2.0, -0.7], &[2, 3]));
+                let sw = g.mul(s, w);
+                let lw = g.mul(l, w);
+                let y = g.add(sw, lw);
+                g.sum_all(y)
+            },
+            t(&[0.1, 0.9, -0.5, 1.2, 0.0, 0.4], &[2, 3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let gamma0 = t(&[1.2, 0.8, 1.0], &[3]);
+        let beta0 = t(&[0.1, -0.2, 0.0], &[3]);
+        check_grad(
+            move |g, x| {
+                let gamma = g.param(gamma0.clone());
+                let beta = g.param(beta0.clone());
+                let y = g.layer_norm(x, gamma, beta);
+                let w = g.constant(t(&[1.0, -1.0, 0.5, 0.2, 0.7, -0.3], &[2, 3]));
+                let yw = g.mul(y, w);
+                g.sum_all(yw)
+            },
+            t(&[0.5, -0.1, 0.8, 1.0, 2.0, -0.5], &[2, 3]),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_bcast_ops() {
+        let b0 = t(&[0.5, -0.3], &[2]);
+        check_grad(
+            move |g, x| {
+                let b = g.param(b0.clone());
+                let y = g.add_bcast(x, b);
+                let z = g.mul_bcast(y, b);
+                g.sum_all(z)
+            },
+            t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice() {
+        check_grad(
+            |g, x| {
+                let a = g.slice_last(x, 0, 2);
+                let b = g.slice_last(x, 2, 2);
+                let c = g.concat_last(&[b, a]);
+                let sq = g.mul(c, c);
+                g.sum_all(sq)
+            },
+            t(&[1.0, -2.0, 3.0, 0.5, 0.1, 0.2, 0.3, 0.4], &[2, 4]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_time_ops() {
+        check_grad(
+            |g, x| {
+                let s0 = g.select_time(x, 0);
+                let s1 = g.select_time(x, 1);
+                let restacked = g.stack_time(&[s1, s0]);
+                let st = g.sum_time(restacked);
+                let sq = g.mul(st, st);
+                g.sum_all(sq)
+            },
+            t(&(0..12).map(|i| 0.3 * i as f32 - 1.0).collect::<Vec<_>>(), &[2, 2, 3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_embedding_pick() {
+        check_grad(
+            |g, w| {
+                let e = g.embedding(w, &[2, 0, 2]);
+                let sq = g.mul(e, e);
+                g.sum_all(sq)
+            },
+            t(&(0..8).map(|i| 0.25 * i as f32 - 1.0).collect::<Vec<_>>(), &[4, 2]),
+            1e-2,
+        );
+        check_grad(
+            |g, x| {
+                let p = g.pick_per_row(x, &[1, 0]);
+                let sq = g.mul(p, p);
+                g.sum_all(sq)
+            },
+            t(&[0.3, -0.4, 0.9, 1.5], &[2, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_transpose_and_reshape() {
+        check_grad(
+            |g, x| {
+                let xt = g.transpose_last(x);
+                let y = g.matmul(x, xt);
+                let r = g.reshape(y, &[4]);
+                let sq = g.mul(r, r);
+                g.sum_all(sq)
+            },
+            t(&[0.3, 0.7, -0.2, 0.5, 1.0, -0.8], &[2, 3]),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 2.0], &[2]));
+        let d = g.detach(x);
+        let y = g.mul(d, d);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).is_none(), "gradient leaked through detach");
+    }
+
+    #[test]
+    fn straight_through_passes_gradient() {
+        // out = hard - detach(soft) + soft ⇒ d out/d soft = identity.
+        let mut g = Graph::new();
+        let x = g.param(t(&[0.2, 0.8], &[2]));
+        let soft = g.softmax_last(x);
+        let hard = g.constant(t(&[0.0, 1.0], &[2]));
+        let det = g.detach(soft);
+        let hm = g.sub(hard, det);
+        let out = g.add(hm, soft);
+        let w = g.constant(t(&[1.0, 3.0], &[2]));
+        let ow = g.mul(out, w);
+        let loss = g.sum_all(ow);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).is_some());
+    }
+
+    #[test]
+    fn grad_max2_routing() {
+        let mut g = Graph::new();
+        let a = g.param(t(&[1.0, 5.0], &[2]));
+        let b = g.param(t(&[3.0, 2.0], &[2]));
+        let m = g.max2(a, b);
+        let loss = g.sum_all(m);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[0.0, 1.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_mask_applies_in_both_directions() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 2.0, 3.0], &[3]));
+        let y = g.dropout_with_mask(x, vec![2.0, 0.0, 2.0]);
+        assert_eq!(g.value(y).data(), &[2.0, 0.0, 6.0]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_all_grad_is_uniform() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 2.0, 3.0, 4.0], &[4]));
+        let m = g.mean_all(x);
+        let grads = g.backward(m);
+        assert_eq!(grads.get(x).unwrap().data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn grad_accumulates_on_reuse() {
+        // loss = sum(x) + sum(x) must give gradient 2 everywhere.
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 1.0], &[2]));
+        let s1 = g.sum_all(x);
+        let s2 = g.sum_all(x);
+        let loss = g.add(s1, s2);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_slice_time() {
+        check_grad(
+            |g, x| {
+                let mid = g.slice_time(x, 1, 2);
+                let sq = g.mul(mid, mid);
+                g.sum_all(sq)
+            },
+            t(&(0..18).map(|i| 0.2 * i as f32 - 1.0).collect::<Vec<_>>(), &[2, 3, 3]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sum_last_3d() {
+        check_grad(
+            |g, x| {
+                let s = g.sum_last(x); // B×T
+                let sq = g.mul(s, s);
+                g.sum_all(sq)
+            },
+            t(&(0..12).map(|i| 0.1 * i as f32).collect::<Vec<_>>(), &[2, 3, 2]),
+            1e-2,
+        );
+    }
+}

@@ -1,0 +1,837 @@
+//! Numeric kernels backing the autograd ops.
+//!
+//! These are plain functions over [`Tensor`] values; all differentiation logic
+//! lives in [`crate::graph`]. Kernels favour simple cache-friendly loops —
+//! shapes in this workspace are small (d ≤ 128, T ≤ 200) so a tuned BLAS is
+//! unnecessary.
+
+use crate::tensor::Tensor;
+
+/// Element-wise zip of two same-shape tensors.
+pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "zip shape mismatch");
+    let data = a.data().iter().zip(b.data().iter()).map(|(&x, &y)| f(x, y)).collect();
+    Tensor::new(data, a.shape())
+}
+
+/// Zip where `b`'s shape is a suffix of `a`'s shape; `b` is tiled over the
+/// leading dimensions of `a`.
+pub fn bcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    let (ash, bsh) = (a.shape(), b.shape());
+    assert!(
+        bsh.len() <= ash.len() && ash[ash.len() - bsh.len()..] == *bsh,
+        "broadcast: {bsh:?} is not a suffix of {ash:?}"
+    );
+    let bn = b.len();
+    let data = a
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| f(x, b.data()[i % bn]))
+        .collect();
+    Tensor::new(data, ash)
+}
+
+/// Sum a tensor down to a suffix shape (inverse of suffix broadcasting).
+pub fn reduce_to_suffix(a: &Tensor, suffix: &[usize]) -> Tensor {
+    let bn: usize = suffix.iter().product();
+    let mut out = Tensor::zeros(suffix);
+    for (i, &x) in a.data().iter().enumerate() {
+        out.data_mut()[i % bn] += x;
+    }
+    out
+}
+
+/// `out[m×n] (+)= a[m×k] · b[k×n]` with optional operand transposes.
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    // a is m×k after the (optional) transpose; likewise b is k×n.
+    debug_assert_eq!(out.len(), m * n);
+    if !ta && !tb {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    } else if ta && !tb {
+        // a stored as k×m
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    } else if !ta && tb {
+        // b stored as n×k
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                out[i * n + j] += acc;
+            }
+        }
+    } else {
+        // a stored k×m, b stored n×k
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[p * m + i] * b[j * k + p];
+                }
+                out[i * n + j] += acc;
+            }
+        }
+    }
+}
+
+/// Shape cases supported by [`matmul`].
+enum MatCase {
+    /// `(m×k)(k×n)`
+    TwoTwo(usize, usize, usize),
+    /// `(B×m×k)(B×k×n)`
+    ThreeThree(usize, usize, usize, usize),
+    /// `(B×m×k)(k×n)` — rhs broadcast over batch.
+    ThreeTwo(usize, usize, usize, usize),
+    /// `(m×k)(B×k×n)` — lhs broadcast over batch.
+    TwoThree(usize, usize, usize, usize),
+}
+
+fn mat_case(a: &Tensor, b: &Tensor) -> MatCase {
+    match (a.ndim(), b.ndim()) {
+        (2, 2) => {
+            let (m, k) = a.dims2();
+            let (k2, n) = b.dims2();
+            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            MatCase::TwoTwo(m, k, n)
+        }
+        (3, 3) => {
+            let (ba, m, k) = a.dims3();
+            let (bb, k2, n) = b.dims3();
+            assert_eq!(ba, bb, "batched matmul batch dims");
+            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            MatCase::ThreeThree(ba, m, k, n)
+        }
+        (3, 2) => {
+            let (ba, m, k) = a.dims3();
+            let (k2, n) = b.dims2();
+            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            MatCase::ThreeTwo(ba, m, k, n)
+        }
+        (2, 3) => {
+            let (m, k) = a.dims2();
+            let (bb, k2, n) = b.dims3();
+            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            MatCase::TwoThree(bb, m, k, n)
+        }
+        (da, db) => panic!("matmul unsupported ranks {da}/{db}"),
+    }
+}
+
+/// Matrix product with rank promotion (see [`crate::graph::Graph::matmul`]).
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    match mat_case(a, b) {
+        MatCase::TwoTwo(m, k, n) => {
+            let mut out = Tensor::zeros(&[m, n]);
+            gemm(a.data(), false, b.data(), false, m, k, n, out.data_mut());
+            out
+        }
+        MatCase::ThreeThree(bs, m, k, n) => {
+            let mut out = Tensor::zeros(&[bs, m, n]);
+            for i in 0..bs {
+                gemm(
+                    &a.data()[i * m * k..(i + 1) * m * k],
+                    false,
+                    &b.data()[i * k * n..(i + 1) * k * n],
+                    false,
+                    m,
+                    k,
+                    n,
+                    &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                );
+            }
+            out
+        }
+        MatCase::ThreeTwo(bs, m, k, n) => {
+            let mut out = Tensor::zeros(&[bs, m, n]);
+            for i in 0..bs {
+                gemm(
+                    &a.data()[i * m * k..(i + 1) * m * k],
+                    false,
+                    b.data(),
+                    false,
+                    m,
+                    k,
+                    n,
+                    &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                );
+            }
+            out
+        }
+        MatCase::TwoThree(bs, m, k, n) => {
+            let mut out = Tensor::zeros(&[bs, m, n]);
+            for i in 0..bs {
+                gemm(
+                    a.data(),
+                    false,
+                    &b.data()[i * k * n..(i + 1) * k * n],
+                    false,
+                    m,
+                    k,
+                    n,
+                    &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                );
+            }
+            out
+        }
+    }
+}
+
+/// Gradients of [`matmul`] w.r.t. both operands given the output gradient.
+pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor) {
+    match mat_case(a, b) {
+        MatCase::TwoTwo(m, k, n) => {
+            let mut ga = Tensor::zeros(&[m, k]);
+            let mut gb = Tensor::zeros(&[k, n]);
+            // dA = dC · Bᵀ ; dB = Aᵀ · dC
+            gemm(gout.data(), false, b.data(), true, m, n, k, ga.data_mut());
+            gemm(a.data(), true, gout.data(), false, k, m, n, gb.data_mut());
+            (ga, gb)
+        }
+        MatCase::ThreeThree(bs, m, k, n) => {
+            let mut ga = Tensor::zeros(&[bs, m, k]);
+            let mut gb = Tensor::zeros(&[bs, k, n]);
+            for i in 0..bs {
+                gemm(
+                    &gout.data()[i * m * n..(i + 1) * m * n],
+                    false,
+                    &b.data()[i * k * n..(i + 1) * k * n],
+                    true,
+                    m,
+                    n,
+                    k,
+                    &mut ga.data_mut()[i * m * k..(i + 1) * m * k],
+                );
+                gemm(
+                    &a.data()[i * m * k..(i + 1) * m * k],
+                    true,
+                    &gout.data()[i * m * n..(i + 1) * m * n],
+                    false,
+                    k,
+                    m,
+                    n,
+                    &mut gb.data_mut()[i * k * n..(i + 1) * k * n],
+                );
+            }
+            (ga, gb)
+        }
+        MatCase::ThreeTwo(bs, m, k, n) => {
+            let mut ga = Tensor::zeros(&[bs, m, k]);
+            let mut gb = Tensor::zeros(&[k, n]);
+            for i in 0..bs {
+                gemm(
+                    &gout.data()[i * m * n..(i + 1) * m * n],
+                    false,
+                    b.data(),
+                    true,
+                    m,
+                    n,
+                    k,
+                    &mut ga.data_mut()[i * m * k..(i + 1) * m * k],
+                );
+                gemm(
+                    &a.data()[i * m * k..(i + 1) * m * k],
+                    true,
+                    &gout.data()[i * m * n..(i + 1) * m * n],
+                    false,
+                    k,
+                    m,
+                    n,
+                    gb.data_mut(),
+                );
+            }
+            (ga, gb)
+        }
+        MatCase::TwoThree(bs, m, k, n) => {
+            let mut ga = Tensor::zeros(&[m, k]);
+            let mut gb = Tensor::zeros(&[bs, k, n]);
+            for i in 0..bs {
+                gemm(
+                    &gout.data()[i * m * n..(i + 1) * m * n],
+                    false,
+                    &b.data()[i * k * n..(i + 1) * k * n],
+                    true,
+                    m,
+                    n,
+                    k,
+                    ga.data_mut(),
+                );
+                gemm(
+                    a.data(),
+                    true,
+                    &gout.data()[i * m * n..(i + 1) * m * n],
+                    false,
+                    k,
+                    m,
+                    n,
+                    &mut gb.data_mut()[i * k * n..(i + 1) * k * n],
+                );
+            }
+            (ga, gb)
+        }
+    }
+}
+
+/// Swap the last two dims of a 2-D or 3-D tensor.
+pub fn transpose_last(a: &Tensor) -> Tensor {
+    match a.ndim() {
+        2 => {
+            let (m, n) = a.dims2();
+            let mut out = Tensor::zeros(&[n, m]);
+            for i in 0..m {
+                for j in 0..n {
+                    out.data_mut()[j * m + i] = a.data()[i * n + j];
+                }
+            }
+            out
+        }
+        3 => {
+            let (b, m, n) = a.dims3();
+            let mut out = Tensor::zeros(&[b, n, m]);
+            for bi in 0..b {
+                let src = &a.data()[bi * m * n..(bi + 1) * m * n];
+                let dst = &mut out.data_mut()[bi * m * n..(bi + 1) * m * n];
+                for i in 0..m {
+                    for j in 0..n {
+                        dst[j * m + i] = src[i * n + j];
+                    }
+                }
+            }
+            out
+        }
+        d => panic!("transpose_last on rank {d}"),
+    }
+}
+
+fn last_dim(shape: &[usize]) -> usize {
+    *shape.last().expect("empty shape")
+}
+
+/// Numerically-stable softmax over the last dimension.
+pub fn softmax_last(a: &Tensor) -> Tensor {
+    let n = last_dim(a.shape());
+    let mut out = Tensor::zeros(a.shape());
+    for (src, dst) in a.data().chunks(n).zip(out.data_mut().chunks_mut(n)) {
+        let mx = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = (s - mx).exp();
+            sum += *d;
+        }
+        for d in dst.iter_mut() {
+            *d /= sum;
+        }
+    }
+    out
+}
+
+/// Backward of [`softmax_last`]: `dx = y ⊙ (dy − Σ dy·y)` per row.
+pub fn softmax_last_backward(y: &Tensor, gout: &Tensor) -> Tensor {
+    let n = last_dim(y.shape());
+    let mut out = Tensor::zeros(y.shape());
+    for ((yr, gr), dr) in y
+        .data()
+        .chunks(n)
+        .zip(gout.data().chunks(n))
+        .zip(out.data_mut().chunks_mut(n))
+    {
+        let dot: f32 = yr.iter().zip(gr.iter()).map(|(&a, &b)| a * b).sum();
+        for ((d, &yv), &gv) in dr.iter_mut().zip(yr.iter()).zip(gr.iter()) {
+            *d = yv * (gv - dot);
+        }
+    }
+    out
+}
+
+/// Numerically-stable log-softmax over the last dimension.
+pub fn log_softmax_last(a: &Tensor) -> Tensor {
+    let n = last_dim(a.shape());
+    let mut out = Tensor::zeros(a.shape());
+    for (src, dst) in a.data().chunks(n).zip(out.data_mut().chunks_mut(n)) {
+        let mx = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = src.iter().map(|&s| (s - mx).exp()).sum::<f32>().ln() + mx;
+        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+            *d = s - lse;
+        }
+    }
+    out
+}
+
+/// Backward of [`log_softmax_last`]: `dx = dy − softmax(x) · Σ dy` per row.
+pub fn log_softmax_last_backward(y: &Tensor, gout: &Tensor) -> Tensor {
+    let n = last_dim(y.shape());
+    let mut out = Tensor::zeros(y.shape());
+    for ((yr, gr), dr) in y
+        .data()
+        .chunks(n)
+        .zip(gout.data().chunks(n))
+        .zip(out.data_mut().chunks_mut(n))
+    {
+        let gsum: f32 = gr.iter().sum();
+        for ((d, &lv), &gv) in dr.iter_mut().zip(yr.iter()).zip(gr.iter()) {
+            *d = gv - lv.exp() * gsum;
+        }
+    }
+    out
+}
+
+const LN_EPS: f32 = 1e-5;
+
+/// Layer normalisation over the last dimension with scale/shift.
+pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
+    let n = last_dim(x.shape());
+    assert_eq!(gamma.len(), n, "layer_norm gamma length");
+    assert_eq!(beta.len(), n, "layer_norm beta length");
+    let mut out = Tensor::zeros(x.shape());
+    for (src, dst) in x.data().chunks(n).zip(out.data_mut().chunks_mut(n)) {
+        let mean = src.iter().sum::<f32>() / n as f32;
+        let var = src.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + LN_EPS).sqrt();
+        for j in 0..n {
+            dst[j] = gamma.data()[j] * (src[j] - mean) * inv + beta.data()[j];
+        }
+    }
+    out
+}
+
+/// Backward of [`layer_norm`]; returns `(dx, dgamma, dbeta)`.
+pub fn layer_norm_backward(x: &Tensor, gamma: &Tensor, gout: &Tensor) -> (Tensor, Tensor, Tensor) {
+    let n = last_dim(x.shape());
+    let nf = n as f32;
+    let mut dx = Tensor::zeros(x.shape());
+    let mut dgamma = Tensor::zeros(&[n]);
+    let mut dbeta = Tensor::zeros(&[n]);
+    for ((src, gr), dr) in x
+        .data()
+        .chunks(n)
+        .zip(gout.data().chunks(n))
+        .zip(dx.data_mut().chunks_mut(n))
+    {
+        let mean = src.iter().sum::<f32>() / nf;
+        let var = src.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / nf;
+        let inv = 1.0 / (var + LN_EPS).sqrt();
+        // xhat_j = (x_j - mean) * inv
+        let mut sum_g = 0.0;
+        let mut sum_gx = 0.0;
+        for j in 0..n {
+            let xhat = (src[j] - mean) * inv;
+            let gl = gr[j] * gamma.data()[j];
+            sum_g += gl;
+            sum_gx += gl * xhat;
+            dgamma.data_mut()[j] += gr[j] * xhat;
+            dbeta.data_mut()[j] += gr[j];
+        }
+        for j in 0..n {
+            let xhat = (src[j] - mean) * inv;
+            let gl = gr[j] * gamma.data()[j];
+            dr[j] = inv * (gl - sum_g / nf - xhat * sum_gx / nf);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+/// Sum over the last dimension (shape loses its last axis; rank-1 → `[1]`).
+pub fn sum_last(a: &Tensor) -> Tensor {
+    let n = last_dim(a.shape());
+    let out_shape: Vec<usize> = if a.ndim() == 1 {
+        vec![1]
+    } else {
+        a.shape()[..a.ndim() - 1].to_vec()
+    };
+    let mut out = Tensor::zeros(&out_shape);
+    for (i, chunk) in a.data().chunks(n).enumerate() {
+        out.data_mut()[i] = chunk.iter().sum();
+    }
+    out
+}
+
+/// Backward of [`sum_last`]: tile the gradient over the removed axis.
+pub fn sum_last_backward(in_shape: &[usize], gout: &Tensor) -> Tensor {
+    let n = *in_shape.last().unwrap();
+    let mut out = Tensor::zeros(in_shape);
+    for (i, chunk) in out.data_mut().chunks_mut(n).enumerate() {
+        let g = gout.data()[i];
+        for c in chunk {
+            *c = g;
+        }
+    }
+    out
+}
+
+/// Sum over the time axis of `B×T×d`, yielding `B×d`.
+pub fn sum_time(a: &Tensor) -> Tensor {
+    let (b, t, d) = a.dims3();
+    let mut out = Tensor::zeros(&[b, d]);
+    for bi in 0..b {
+        for ti in 0..t {
+            let src = &a.data()[(bi * t + ti) * d..(bi * t + ti + 1) * d];
+            let dst = &mut out.data_mut()[bi * d..(bi + 1) * d];
+            for (o, &s) in dst.iter_mut().zip(src.iter()) {
+                *o += s;
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`sum_time`].
+pub fn sum_time_backward(in_shape: &[usize], gout: &Tensor) -> Tensor {
+    let (b, t, d) = (in_shape[0], in_shape[1], in_shape[2]);
+    let mut out = Tensor::zeros(in_shape);
+    for bi in 0..b {
+        let g = &gout.data()[bi * d..(bi + 1) * d];
+        for ti in 0..t {
+            let dst = &mut out.data_mut()[(bi * t + ti) * d..(bi * t + ti + 1) * d];
+            dst.copy_from_slice(g);
+        }
+    }
+    out
+}
+
+/// Concatenate along the last dimension.
+pub fn concat_last(parts: &[&Tensor]) -> Tensor {
+    let lead = &parts[0].shape()[..parts[0].ndim() - 1];
+    let rows: usize = lead.iter().product();
+    let widths: Vec<usize> = parts
+        .iter()
+        .map(|p| {
+            assert_eq!(&p.shape()[..p.ndim() - 1], lead, "concat_last leading dims");
+            last_dim(p.shape())
+        })
+        .collect();
+    let total: usize = widths.iter().sum();
+    let mut shape = lead.to_vec();
+    shape.push(total);
+    let mut out = Tensor::zeros(&shape);
+    for r in 0..rows {
+        let mut off = 0;
+        for (p, &w) in parts.iter().zip(widths.iter()) {
+            let src = &p.data()[r * w..(r + 1) * w];
+            out.data_mut()[r * total + off..r * total + off + w].copy_from_slice(src);
+            off += w;
+        }
+    }
+    out
+}
+
+/// Backward of [`concat_last`]: split the gradient back into the parts.
+pub fn concat_last_backward(shapes: &[&[usize]], gout: &Tensor) -> Vec<Tensor> {
+    let widths: Vec<usize> = shapes.iter().map(|s| *s.last().unwrap()).collect();
+    let total: usize = widths.iter().sum();
+    let rows = gout.len() / total;
+    let mut outs: Vec<Tensor> = shapes.iter().map(|s| Tensor::zeros(s)).collect();
+    for r in 0..rows {
+        let mut off = 0;
+        for (o, &w) in outs.iter_mut().zip(widths.iter()) {
+            let dst = &mut o.data_mut()[r * w..(r + 1) * w];
+            dst.copy_from_slice(&gout.data()[r * total + off..r * total + off + w]);
+            off += w;
+        }
+    }
+    outs
+}
+
+/// Slice `[start, start+len)` of the last dimension.
+pub fn slice_last(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let n = last_dim(a.shape());
+    assert!(start + len <= n, "slice_last {start}+{len} > {n}");
+    let rows = a.len() / n;
+    let mut shape = a.shape().to_vec();
+    *shape.last_mut().unwrap() = len;
+    let mut out = Tensor::zeros(&shape);
+    for r in 0..rows {
+        out.data_mut()[r * len..(r + 1) * len]
+            .copy_from_slice(&a.data()[r * n + start..r * n + start + len]);
+    }
+    out
+}
+
+/// Backward of [`slice_last`].
+pub fn slice_last_backward(in_shape: &[usize], start: usize, gout: &Tensor) -> Tensor {
+    let n = *in_shape.last().unwrap();
+    let len = last_dim(gout.shape());
+    let rows: usize = in_shape.iter().product::<usize>() / n;
+    let mut out = Tensor::zeros(in_shape);
+    for r in 0..rows {
+        out.data_mut()[r * n + start..r * n + start + len]
+            .copy_from_slice(&gout.data()[r * len..(r + 1) * len]);
+    }
+    out
+}
+
+/// Slice `[start, start+len)` along the time axis of `B×T×d`.
+pub fn slice_time(a: &Tensor, start: usize, len: usize) -> Tensor {
+    let (b, t, d) = a.dims3();
+    assert!(start + len <= t, "slice_time {start}+{len} > {t}");
+    let mut out = Tensor::zeros(&[b, len, d]);
+    for bi in 0..b {
+        let src = &a.data()[(bi * t + start) * d..(bi * t + start + len) * d];
+        out.data_mut()[bi * len * d..(bi + 1) * len * d].copy_from_slice(src);
+    }
+    out
+}
+
+/// Backward of [`slice_time`].
+pub fn slice_time_backward(in_shape: &[usize], start: usize, gout: &Tensor) -> Tensor {
+    let (b, t, d) = (in_shape[0], in_shape[1], in_shape[2]);
+    let len = gout.dims3().1;
+    let mut out = Tensor::zeros(in_shape);
+    for bi in 0..b {
+        let dst = &mut out.data_mut()[(bi * t + start) * d..(bi * t + start + len) * d];
+        dst.copy_from_slice(&gout.data()[bi * len * d..(bi + 1) * len * d]);
+    }
+    out
+}
+
+/// Pick time step `t` from `B×T×d`, yielding `B×d`.
+pub fn select_time(a: &Tensor, t_idx: usize) -> Tensor {
+    let (b, t, d) = a.dims3();
+    assert!(t_idx < t, "select_time {t_idx} out of {t}");
+    let mut out = Tensor::zeros(&[b, d]);
+    for bi in 0..b {
+        let src = &a.data()[(bi * t + t_idx) * d..(bi * t + t_idx + 1) * d];
+        out.data_mut()[bi * d..(bi + 1) * d].copy_from_slice(src);
+    }
+    out
+}
+
+/// Backward of [`select_time`].
+pub fn select_time_backward(in_shape: &[usize], t_idx: usize, gout: &Tensor) -> Tensor {
+    let (b, t, d) = (in_shape[0], in_shape[1], in_shape[2]);
+    let mut out = Tensor::zeros(in_shape);
+    for bi in 0..b {
+        let dst = &mut out.data_mut()[(bi * t + t_idx) * d..(bi * t + t_idx + 1) * d];
+        dst.copy_from_slice(&gout.data()[bi * d..(bi + 1) * d]);
+    }
+    out
+}
+
+/// Stack `T` tensors of identical shape `B×d` into `B×T×d`.
+pub fn stack_time(steps: &[&Tensor]) -> Tensor {
+    let (b, d) = steps[0].dims2();
+    let t = steps.len();
+    let mut out = Tensor::zeros(&[b, t, d]);
+    for (ti, s) in steps.iter().enumerate() {
+        assert_eq!(s.dims2(), (b, d), "stack_time shape mismatch");
+        for bi in 0..b {
+            let dst = &mut out.data_mut()[(bi * t + ti) * d..(bi * t + ti + 1) * d];
+            dst.copy_from_slice(&s.data()[bi * d..(bi + 1) * d]);
+        }
+    }
+    out
+}
+
+/// Gather rows of a `V×d` matrix by index, yielding `N×d`.
+pub fn gather_rows(weight: &Tensor, indices: &[usize]) -> Tensor {
+    let (v, d) = weight.dims2();
+    let mut out = Tensor::zeros(&[indices.len(), d]);
+    for (i, &ix) in indices.iter().enumerate() {
+        assert!(ix < v, "embedding index {ix} out of vocabulary {v}");
+        out.data_mut()[i * d..(i + 1) * d].copy_from_slice(weight.row(ix));
+    }
+    out
+}
+
+/// Scatter-add row gradients back into a `V×d` weight gradient.
+pub fn scatter_rows(weight_shape: &[usize], indices: &[usize], gout: &Tensor) -> Tensor {
+    let d = weight_shape[1];
+    let mut out = Tensor::zeros(weight_shape);
+    for (i, &ix) in indices.iter().enumerate() {
+        let src = &gout.data()[i * d..(i + 1) * d];
+        let dst = &mut out.data_mut()[ix * d..(ix + 1) * d];
+        for (o, &s) in dst.iter_mut().zip(src.iter()) {
+            *o += s;
+        }
+    }
+    out
+}
+
+/// For a `B×V` matrix, pick `a[i, idx[i]]` per row, yielding shape `[B]`.
+pub fn pick_per_row(a: &Tensor, idx: &[usize]) -> Tensor {
+    let (b, v) = a.dims2();
+    assert_eq!(idx.len(), b, "pick_per_row index length");
+    let mut out = Tensor::zeros(&[b]);
+    for (i, &j) in idx.iter().enumerate() {
+        assert!(j < v, "pick index {j} out of {v}");
+        out.data_mut()[i] = a.data()[i * v + j];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor {
+        Tensor::new(v.to_vec(), s)
+    }
+
+    #[test]
+    fn matmul_2x2_known() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_batched_matches_per_batch() {
+        let a = t(&(0..12).map(|i| i as f32).collect::<Vec<_>>(), &[2, 2, 3]);
+        let b = t(&(0..12).map(|i| (i as f32) * 0.5).collect::<Vec<_>>(), &[2, 3, 2]);
+        let c = matmul(&a, &b);
+        let a0 = t(&a.data()[..6], &[2, 3]);
+        let b0 = t(&b.data()[..6], &[3, 2]);
+        let c0 = matmul(&a0, &b0);
+        assert_eq!(&c.data()[..4], c0.data());
+    }
+
+    #[test]
+    fn matmul_broadcast_rhs() {
+        let a = t(&(0..12).map(|i| i as f32).collect::<Vec<_>>(), &[2, 2, 3]);
+        let b = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // row [0,1,2] · b = [0*1+1*0+2*1, 0*0+1*1+2*1] = [2, 3]
+        assert_eq!(&c.data()[..2], &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t(&(0..24).map(|i| i as f32).collect::<Vec<_>>(), &[2, 3, 4]);
+        let back = transpose_last(&transpose_last(&a));
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = softmax_last(&a);
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[101.0, 102.0, 103.0], &[3]);
+        let (sa, sb) = (softmax_last(&a), softmax_last(&b));
+        for (x, y) in sa.data().iter().zip(sb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let a = t(&[0.5, -1.0, 2.0, 0.1], &[2, 2]);
+        let ls = log_softmax_last(&a);
+        let s = softmax_last(&a);
+        for (x, y) in ls.data().iter().zip(s.data()) {
+            assert!((x.exp() - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_standardised() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let gamma = Tensor::ones(&[4]);
+        let beta = Tensor::zeros(&[4]);
+        let y = layer_norm(&x, &gamma, &beta);
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gather_scatter_adjoint() {
+        // <gather(W, idx), G> == <W, scatter(idx, G)> — adjointness.
+        let w = t(&(0..8).map(|i| i as f32).collect::<Vec<_>>(), &[4, 2]);
+        let idx = [1usize, 1, 3];
+        let g = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let fwd = gather_rows(&w, &idx);
+        let lhs: f32 = fwd.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        let bwd = scatter_rows(&[4, 2], &idx, &g);
+        let rhs: f32 = w.data().iter().zip(bwd.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0, 9.0, 10.0], &[2, 3]);
+        let c = concat_last(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 5]);
+        assert_eq!(slice_last(&c, 0, 2), a);
+        assert_eq!(slice_last(&c, 2, 3), b);
+    }
+
+    #[test]
+    fn stack_select_roundtrip() {
+        let s0 = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let s1 = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let st = stack_time(&[&s0, &s1]);
+        assert_eq!(select_time(&st, 0), s0);
+        assert_eq!(select_time(&st, 1), s1);
+    }
+
+    #[test]
+    fn reduce_to_suffix_sums_leading() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let r = reduce_to_suffix(&a, &[2]);
+        assert_eq!(r.data(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn slice_time_known() {
+        let a = t(&(0..12).map(|i| i as f32).collect::<Vec<_>>(), &[2, 3, 2]);
+        let s = slice_time(&a, 1, 2);
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(&s.data()[..4], &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn sum_time_known() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[1, 3, 2]);
+        let s = sum_time(&a);
+        assert_eq!(s.data(), &[9.0, 12.0]);
+    }
+}

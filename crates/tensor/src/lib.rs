@@ -1,0 +1,42 @@
+//! # ssdrec-tensor
+//!
+//! A compact, pure-Rust deep-learning substrate: dense `f32` tensors, a
+//! tape-based reverse-mode autograd engine, standard neural layers (Linear,
+//! Embedding, GRU/LSTM/Bi-LSTM, multi-head attention, transformer blocks,
+//! Gumbel-Softmax, frequency-domain filtering) and optimizers (Adam, SGD).
+//!
+//! This crate exists because the SSDRec reproduction (ICDE 2024) needs a DL
+//! framework and the Rust ecosystem does not ship one suited to this
+//! workload; see `DESIGN.md` at the workspace root for the substitution
+//! rationale. Gradients are verified against central finite differences in
+//! the `graph` test module.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ssdrec_tensor::{Graph, Tensor};
+//!
+//! let mut g = Graph::new();
+//! let x = g.param(Tensor::new(vec![1.0, 2.0], &[2]));
+//! let y = g.mul(x, x);           // y = x²
+//! let loss = g.sum_all(y);
+//! let grads = g.backward(loss);
+//! assert_eq!(grads.get(x).unwrap().data(), &[2.0, 4.0]); // dy/dx = 2x
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod init;
+pub mod kernels;
+pub mod nn;
+pub mod optim;
+pub mod persist;
+pub mod rng;
+pub mod tensor;
+
+pub use graph::{Gradients, Graph, Var};
+pub use optim::{Adam, Binding, ParamRef, ParamStore, Sgd};
+pub use persist::{load_params, save_params};
+pub use rng::Rng;
+pub use tensor::Tensor;

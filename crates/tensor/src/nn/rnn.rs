@@ -1,0 +1,327 @@
+//! Recurrent layers: GRU (GRU4Rec, NARM) and LSTM / Bi-LSTM (SSDRec's
+//! context-aware encoder, paper Eq. 9 and Eq. 12).
+//!
+//! Sequences are short in this domain (T ≤ 200), so cells are unrolled on the
+//! tape step by step.
+
+use crate::graph::{Graph, Var};
+use crate::optim::{Binding, ParamStore};
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+use super::linear::Linear;
+
+/// One GRU step.
+pub struct GruCell {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// A new cell mapping `in_dim` inputs to `hidden` state units.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+        GruCell {
+            wz: Linear::new(store, &format!("{name}.wz"), in_dim, hidden, rng),
+            uz: Linear::new_no_bias(store, &format!("{name}.uz"), hidden, hidden, rng),
+            wr: Linear::new(store, &format!("{name}.wr"), in_dim, hidden, rng),
+            ur: Linear::new_no_bias(store, &format!("{name}.ur"), hidden, hidden, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), in_dim, hidden, rng),
+            uh: Linear::new_no_bias(store, &format!("{name}.uh"), hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// `h' = (1−z)⊙h + z⊙ĥ` for input `x` (`B×in`) and state `h` (`B×hidden`).
+    pub fn step(&self, g: &mut Graph, bind: &Binding, x: Var, h: Var) -> Var {
+        let zx = self.wz.forward(g, bind, x);
+        let zh = self.uz.forward(g, bind, h);
+        let zs = g.add(zx, zh);
+        let z = g.sigmoid(zs);
+
+        let rx = self.wr.forward(g, bind, x);
+        let rh = self.ur.forward(g, bind, h);
+        let rs = g.add(rx, rh);
+        let r = g.sigmoid(rs);
+
+        let hx = self.wh.forward(g, bind, x);
+        let rh2 = g.mul(r, h);
+        let hh = self.uh.forward(g, bind, rh2);
+        let hs = g.add(hx, hh);
+        let hcand = g.tanh(hs);
+
+        let one = g.constant(Tensor::ones(g.value(z).shape()));
+        let omz = g.sub(one, z);
+        let keep = g.mul(omz, h);
+        let new = g.mul(z, hcand);
+        g.add(keep, new)
+    }
+}
+
+/// A unidirectional GRU over `B×T×in` sequences.
+pub struct Gru {
+    cell: GruCell,
+}
+
+impl Gru {
+    /// A new GRU layer.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+        Gru { cell: GruCell::new(store, &format!("{name}.cell"), in_dim, hidden, rng) }
+    }
+
+    /// Run over a full sequence; returns `(all_states B×T×hidden, last B×hidden)`.
+    pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> (Var, Var) {
+        let (b, t, _d) = g.value(x).dims3();
+        let mut h = g.constant(Tensor::zeros(&[b, self.cell.hidden()]));
+        let mut states = Vec::with_capacity(t);
+        for ti in 0..t {
+            let xt = g.select_time(x, ti);
+            h = self.cell.step(g, bind, xt, h);
+            states.push(h);
+        }
+        let all = g.stack_time(&states);
+        (all, h)
+    }
+}
+
+/// One LSTM step.
+pub struct LstmCell {
+    wi: Linear,
+    ui: Linear,
+    wf: Linear,
+    uf: Linear,
+    wo: Linear,
+    uo: Linear,
+    wc: Linear,
+    uc: Linear,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// A new cell mapping `in_dim` inputs to `hidden` state units.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+        LstmCell {
+            wi: Linear::new(store, &format!("{name}.wi"), in_dim, hidden, rng),
+            ui: Linear::new_no_bias(store, &format!("{name}.ui"), hidden, hidden, rng),
+            wf: Linear::new(store, &format!("{name}.wf"), in_dim, hidden, rng),
+            uf: Linear::new_no_bias(store, &format!("{name}.uf"), hidden, hidden, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), in_dim, hidden, rng),
+            uo: Linear::new_no_bias(store, &format!("{name}.uo"), hidden, hidden, rng),
+            wc: Linear::new(store, &format!("{name}.wc"), in_dim, hidden, rng),
+            uc: Linear::new_no_bias(store, &format!("{name}.uc"), hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step; returns `(h', c')`.
+    pub fn step(&self, g: &mut Graph, bind: &Binding, x: Var, h: Var, c: Var) -> (Var, Var) {
+        let gate = |g: &mut Graph, wx: &Linear, uh: &Linear, x: Var, h: Var| {
+            let a = wx.forward(g, bind, x);
+            let b = uh.forward(g, bind, h);
+            g.add(a, b)
+        };
+        let i_s = gate(g, &self.wi, &self.ui, x, h);
+        let i = g.sigmoid(i_s);
+        let f_s = gate(g, &self.wf, &self.uf, x, h);
+        let f = g.sigmoid(f_s);
+        let o_s = gate(g, &self.wo, &self.uo, x, h);
+        let o = g.sigmoid(o_s);
+        let c_s = gate(g, &self.wc, &self.uc, x, h);
+        let chat = g.tanh(c_s);
+        let fc = g.mul(f, c);
+        let ic = g.mul(i, chat);
+        let c2 = g.add(fc, ic);
+        let tc = g.tanh(c2);
+        let h2 = g.mul(o, tc);
+        (h2, c2)
+    }
+}
+
+/// A unidirectional LSTM over `B×T×in` sequences.
+pub struct Lstm {
+    cell: LstmCell,
+}
+
+impl Lstm {
+    /// A new LSTM layer.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+        Lstm { cell: LstmCell::new(store, &format!("{name}.cell"), in_dim, hidden, rng) }
+    }
+
+    /// Run left→right; returns all hidden states `B×T×hidden`.
+    pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
+        self.run(g, bind, x, false)
+    }
+
+    /// Run right→left, with outputs re-aligned to input positions.
+    pub fn forward_reversed(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
+        self.run(g, bind, x, true)
+    }
+
+    fn run(&self, g: &mut Graph, bind: &Binding, x: Var, reversed: bool) -> Var {
+        let (b, t, _d) = g.value(x).dims3();
+        let mut h = g.constant(Tensor::zeros(&[b, self.cell.hidden()]));
+        let mut c = g.constant(Tensor::zeros(&[b, self.cell.hidden()]));
+        let mut states = vec![h; t];
+        let order: Vec<usize> = if reversed { (0..t).rev().collect() } else { (0..t).collect() };
+        for ti in order {
+            let xt = g.select_time(x, ti);
+            let (h2, c2) = self.cell.step(g, bind, xt, h, c);
+            h = h2;
+            c = c2;
+            states[ti] = h;
+        }
+        g.stack_time(&states)
+    }
+}
+
+/// The paper's context-aware encoder: a bi-directional LSTM whose two
+/// directional state sequences `H^L` (left→right) and `H^R` (right→left) are
+/// returned separately, as required by Eq. 9 (`H^L ⊙ H^R ⊙ H_S`).
+pub struct BiLstm {
+    fwd: Lstm,
+    bwd: Lstm,
+}
+
+impl BiLstm {
+    /// A new Bi-LSTM with `hidden` units per direction.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+        BiLstm {
+            fwd: Lstm::new(store, &format!("{name}.l"), in_dim, hidden, rng),
+            bwd: Lstm::new(store, &format!("{name}.r"), in_dim, hidden, rng),
+        }
+    }
+
+    /// Returns `(H^L, H^R)`, each `B×T×hidden`, aligned by position.
+    pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> (Var, Var) {
+        let hl = self.fwd.forward(g, bind, x);
+        let hr = self.bwd.forward_reversed(g, bind, x);
+        (hl, hr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    fn seq_tensor(b: usize, t: usize, d: usize, f: impl Fn(usize, usize, usize) -> f32) -> Tensor {
+        let mut data = Vec::with_capacity(b * t * d);
+        for bi in 0..b {
+            for ti in 0..t {
+                for di in 0..d {
+                    data.push(f(bi, ti, di));
+                }
+            }
+        }
+        Tensor::new(data, &[b, t, d])
+    }
+
+    #[test]
+    fn gru_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(0);
+        let gru = Gru::new(&mut store, "g", 3, 5, &mut rng);
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let x = g.constant(seq_tensor(2, 4, 3, |b, t, d| (b + t + d) as f32 * 0.1));
+        let (all, last) = gru.forward(&mut g, &bind, x);
+        assert_eq!(g.value(all).shape(), &[2, 4, 5]);
+        assert_eq!(g.value(last).shape(), &[2, 5]);
+    }
+
+    #[test]
+    fn lstm_reversed_aligns_positions() {
+        // With a single time step, forward and reversed runs must agree.
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(1);
+        let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let x = g.constant(seq_tensor(1, 1, 2, |_, _, d| d as f32 + 0.5));
+        let f = lstm.forward(&mut g, &bind, x);
+        let r = lstm.forward_reversed(&mut g, &bind, x);
+        assert_eq!(g.value(f).data(), g.value(r).data());
+    }
+
+    #[test]
+    fn bilstm_directions_differ_on_asymmetric_input() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(2);
+        let bi = BiLstm::new(&mut store, "bi", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let x = g.constant(seq_tensor(1, 4, 2, |_, t, _| t as f32));
+        let (hl, hr) = bi.forward(&mut g, &bind, x);
+        assert_ne!(g.value(hl).data(), g.value(hr).data());
+        assert_eq!(g.value(hl).shape(), &[1, 4, 3]);
+    }
+
+    /// A GRU must be able to learn to remember the first token of a sequence
+    /// — a task a memoryless model cannot solve.
+    #[test]
+    fn gru_learns_first_token_recall() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(3);
+        let gru = Gru::new(&mut store, "g", 1, 8, &mut rng);
+        let head = Linear::new(&mut store, "head", 8, 1, &mut rng);
+        let mut opt = Adam::new(0.02);
+        // Sequences [x, 0, 0, 0], target x.
+        let xs = [0.9f32, -0.7, 0.3, -0.2];
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..300 {
+            let mut g = Graph::new();
+            let bind = store.bind_all(&mut g);
+            let mut data = Vec::new();
+            for &x in &xs {
+                data.extend_from_slice(&[x, 0.0, 0.0, 0.0]);
+            }
+            let x = g.constant(Tensor::new(data, &[4, 4, 1]));
+            let (_, last) = gru.forward(&mut g, &bind, x);
+            let pred = head.forward(&mut g, &bind, last);
+            let target = g.constant(Tensor::new(xs.to_vec(), &[4, 1]));
+            let d = g.sub(pred, target);
+            let sq = g.mul(d, d);
+            let loss = g.mean_all(sq);
+            final_loss = g.value(loss).item();
+            let mut grads = g.backward(loss);
+            opt.step(&mut store, &bind, &mut grads);
+        }
+        assert!(final_loss < 0.01, "loss {final_loss}");
+    }
+
+    #[test]
+    fn lstm_gradient_flows_to_all_steps() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(4);
+        let lstm = Lstm::new(&mut store, "l", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let x0 = seq_tensor(1, 5, 2, |_, t, d| (t * 2 + d) as f32 * 0.1);
+        let x = g.param(x0);
+        let out = lstm.forward(&mut g, &bind, x);
+        let last = g.select_time(out, 4);
+        let loss = g.sum_all(last);
+        let grads = g.backward(loss);
+        let gx = grads.get(x).expect("input grad");
+        // Every timestep influences the last hidden state.
+        for t in 0..5 {
+            let slice = &gx.data()[t * 2..(t + 1) * 2];
+            assert!(slice.iter().any(|&v| v != 0.0), "no grad at t={t}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Parameter persistence: save/load a [`ParamStore`]'s values to a simple,
+//! self-describing binary format (no external dependencies).
+//!
+//! Format (little-endian):
+//! ```text
+//! magic  "SSDT" (4 bytes)
+//! version u32
+//! count   u32                    — number of tensors
+//! repeat count times:
+//!   name_len u32, name bytes (UTF-8)
+//!   ndim u32, dims u32×ndim
+//!   data f32×len
+//! ```
+//!
+//! Loading is strict: the target store must have the same tensor names,
+//! order and shapes (it is a *checkpoint* format, not a model format — the
+//! code that built the store defines the architecture).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::optim::ParamStore;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"SSDT";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serialise every parameter of `store` to `path`.
+pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, store.num_tensors() as u32)?;
+    for i in 0..store.num_tensors() {
+        let r = crate::optim::ParamStore::param_ref_by_index(i);
+        let name = store.name(r);
+        let t = store.get(r);
+        write_u32(&mut w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+        write_u32(&mut w, t.ndim() as u32)?;
+        for &d in t.shape() {
+            write_u32(&mut w, d as u32)?;
+        }
+        for &x in t.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Load a checkpoint into `store`. Names, order and shapes must match the
+/// store exactly; optimizer moments are left untouched.
+pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(err("not an SSDT checkpoint"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(err(format!("unsupported checkpoint version {version}")));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != store.num_tensors() {
+        return Err(err(format!(
+            "checkpoint has {count} tensors, store has {}",
+            store.num_tensors()
+        )));
+    }
+    let mut values = Vec::with_capacity(count);
+    for i in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| err("invalid name encoding"))?;
+        let pr = crate::optim::ParamStore::param_ref_by_index(i);
+        if store.name(pr) != name {
+            return Err(err(format!(
+                "tensor {i}: checkpoint name {name:?} vs store {:?}",
+                store.name(pr)
+            )));
+        }
+        let ndim = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u32(&mut r)? as usize);
+        }
+        if shape != store.get(pr).shape() {
+            return Err(err(format!(
+                "tensor {name}: checkpoint shape {shape:?} vs store {:?}",
+                store.get(pr).shape()
+            )));
+        }
+        let n: usize = shape.iter().product();
+        let mut data = vec![0f32; n];
+        for x in data.iter_mut() {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *x = f32::from_le_bytes(b);
+        }
+        values.push(Tensor::new(data, &shape));
+    }
+    store.restore(&values);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn demo_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        let mut rng = Rng::seed(42);
+        store.add_xavier("layer.w", &[4, 3], &mut rng);
+        store.add_zeros("layer.b", &[3]);
+        store.add_ones("ln.gamma", &[3]);
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let dir = std::env::temp_dir().join("ssdrec_persist_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ssdt");
+
+        let store = demo_store();
+        save_params(&store, &path).unwrap();
+
+        let mut other = demo_store();
+        // Perturb before loading.
+        other.get_mut(ParamStore::param_ref_by_index(0)).data_mut()[0] = 99.0;
+        load_params(&mut other, &path).unwrap();
+        assert_eq!(other.snapshot(), store.snapshot());
+    }
+
+    #[test]
+    fn rejects_mismatched_architecture() {
+        let dir = std::env::temp_dir().join("ssdrec_persist_mm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ssdt");
+        save_params(&demo_store(), &path).unwrap();
+
+        let mut smaller = ParamStore::new();
+        smaller.add_zeros("layer.w", &[4, 3]);
+        assert!(load_params(&mut smaller, &path).is_err(), "tensor count mismatch accepted");
+
+        let mut renamed = ParamStore::new();
+        let mut rng = Rng::seed(0);
+        renamed.add_xavier("other.w", &[4, 3], &mut rng);
+        renamed.add_zeros("layer.b", &[3]);
+        renamed.add_ones("ln.gamma", &[3]);
+        assert!(load_params(&mut renamed, &path).is_err(), "name mismatch accepted");
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let dir = std::env::temp_dir().join("ssdrec_persist_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        let mut store = demo_store();
+        assert!(load_params(&mut store, &path).is_err());
+    }
+}

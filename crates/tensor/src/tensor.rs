@@ -1,0 +1,258 @@
+//! Dense, row-major, contiguous `f32` tensor value type.
+//!
+//! [`Tensor`] is the plain value carried through the autograd graph. It has no
+//! gradient machinery of its own; see [`crate::graph`] for differentiation.
+
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values with up to four dimensions.
+///
+/// All model state (embeddings, weights, activations) in this workspace flows
+/// through this type. The representation is deliberately simple — a contiguous
+/// `Vec<f32>` plus a shape — so that kernels are cache-friendly loops and the
+/// autograd tape can clone values cheaply when needed.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 12 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{:.4}, {:.4}, …; {}])", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} does not match shape {:?} (= {n})",
+            data.len(),
+            shape
+        );
+        Tensor { data, shape: shape.to_vec() }
+    }
+
+    /// An all-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![0.0; n], shape: shape.to_vec() }
+    }
+
+    /// An all-ones tensor of the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { data: vec![value; n], shape: shape.to_vec() }
+    }
+
+    /// A 0-dimensional-like scalar represented as shape `[1]`.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: vec![1] }
+    }
+
+    /// Borrow the underlying data slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume and return the underlying buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The scalar value of a single-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor does not hold exactly one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterpret the same buffer under a new shape with equal element count.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(self.data.len(), n, "reshape {:?} -> {:?}", self.shape, shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// For a matrix (2-D tensor), the `(rows, cols)` pair.
+    pub fn dims2(&self) -> (usize, usize) {
+        assert_eq!(self.ndim(), 2, "dims2 on shape {:?}", self.shape);
+        (self.shape[0], self.shape[1])
+    }
+
+    /// For a 3-D tensor, the `(batch, rows, cols)` triple.
+    pub fn dims3(&self) -> (usize, usize, usize) {
+        assert_eq!(self.ndim(), 3, "dims3 on shape {:?}", self.shape);
+        (self.shape[0], self.shape[1], self.shape[2])
+    }
+
+    /// Row `i` of a 2-D tensor as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        let (r, c) = self.dims2();
+        assert!(i < r, "row {i} out of {r}");
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// In-place `self += other` (shapes must match).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale by a constant.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean (L2) norm of all elements.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0usize;
+        let mut bv = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > bv {
+                bv = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_checks_shape() {
+        let t = Tensor::new(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.dims2(), (2, 2));
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_bad_shape() {
+        Tensor::new(vec![1.0, 2.0, 3.0], &[2, 2]);
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[3]).data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Tensor::ones(&[2]).data(), &[1.0, 1.0]);
+        assert_eq!(Tensor::full(&[2], 7.0).data(), &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).reshaped(&[3, 2]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let t = Tensor::new(vec![1.0, 3.0, 3.0, 0.0], &[4]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::new(vec![1.0, 2.0], &[2]);
+        a.add_assign(&Tensor::new(vec![3.0, 4.0], &[2]));
+        a.scale_assign(2.0);
+        assert_eq!(a.data(), &[8.0, 12.0]);
+    }
+
+    #[test]
+    fn l2_norm() {
+        let t = Tensor::new(vec![3.0, 4.0], &[2]);
+        assert!((t.l2_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let t = Tensor::new(vec![1.0, f32::NAN], &[2]);
+        assert!(t.has_non_finite());
+        assert!(!Tensor::ones(&[2]).has_non_finite());
+    }
+}

@@ -1,0 +1,70 @@
+//! Noise-identification analysis (paper Fig. 1 / §IV-E): inject labelled
+//! noise into short sequences, train SSDRec and HSD, and compare their
+//! over/under-denoising behaviour and score separation.
+//!
+//! Run with: `cargo run --release --example denoise_analysis`
+
+use ssdrec::core::{SsdRec, SsdRecConfig};
+use ssdrec::data::{inject_unobserved, prepare, SyntheticConfig};
+use ssdrec::denoise::{Denoiser, Hsd};
+use ssdrec::graph::{build_graph, GraphConfig};
+use ssdrec::metrics::OupAccumulator;
+use ssdrec::models::{train, BackboneKind, TrainConfig};
+
+fn analyse<D: Denoiser>(name: &str, model: &D, split: &ssdrec::data::Split) {
+    let mut acc = OupAccumulator::new();
+    let (mut noise_score, mut n_noise) = (0.0f64, 0usize);
+    let (mut clean_score, mut n_clean) = (0.0f64, 0usize);
+    for ex in &split.test {
+        let Some(noise) = &ex.noise else { continue };
+        if ex.seq.is_empty() {
+            continue;
+        }
+        acc.push(noise, &model.keep_decisions(&ex.seq, ex.user));
+        for (&is_noise, &s) in noise.iter().zip(&model.keep_scores(&ex.seq, ex.user)) {
+            if is_noise {
+                noise_score += s as f64;
+                n_noise += 1;
+            } else {
+                clean_score += s as f64;
+                n_clean += 1;
+            }
+        }
+    }
+    println!(
+        "{name:<8} under-denoising {:.3}  over-denoising {:.3}  keep-score noise/clean {:.3}/{:.3}",
+        acc.under_denoising_ratio(),
+        acc.over_denoising_ratio(),
+        noise_score / n_noise.max(1) as f64,
+        clean_score / n_clean.max(1) as f64,
+    );
+}
+
+fn main() {
+    // Clean generator + explicit injected noise, so labels are exact.
+    let raw = SyntheticConfig::ml100k()
+        .scaled(0.4)
+        .with_noise_ratio(0.0)
+        .generate();
+    let noisy = inject_unobserved(&raw, 60, 2, 7);
+    let (dataset, split) = prepare(&noisy, 50, 2);
+    let graph = build_graph(&dataset, &GraphConfig::default());
+    let tc = TrainConfig { epochs: 12, batch_size: 64, patience: 12, ..TrainConfig::default() };
+
+    println!("training HSD (intra-sequence signals only) …");
+    let mut hsd = Hsd::new(dataset.num_users, dataset.num_items, 16, 50, 7);
+    train(&mut hsd, &split, &tc);
+
+    println!("training SSDRec (inter-sequence graph priors) …\n");
+    let cfg = SsdRecConfig { dim: 16, max_len: 50, backbone: BackboneKind::SasRec, ..SsdRecConfig::default() };
+    let mut ssdrec = SsdRec::new(&graph, cfg);
+    train(&mut ssdrec, &split, &tc);
+
+    analyse("HSD", &hsd, &split);
+    analyse("SSDRec", &ssdrec, &split);
+
+    println!(
+        "\nThe gap illustrates the paper's core claim: intra-sequence information \
+         alone under-denoises; inter-sequence relations (stage 1) separate noise."
+    );
+}

@@ -1,0 +1,42 @@
+//! # ssdrec
+//!
+//! Facade crate for the SSDRec reproduction workspace (*SSDRec:
+//! Self-Augmented Sequence Denoising for Sequential Recommendation*,
+//! ICDE 2024). Re-exports every sub-crate under one roof and hosts the
+//! runnable examples and cross-crate integration tests.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `ssdrec-tensor` | tensors, autograd, NN layers, optimizers |
+//! | [`data`] | `ssdrec-data` | synthetic datasets, preprocessing, batching |
+//! | [`graph`] | `ssdrec-graph` | the multi-relation graph `G` (paper §III-A) |
+//! | [`models`] | `ssdrec-models` | six backbone recommenders + shared trainer |
+//! | [`denoise`] | `ssdrec-denoise` | FMLP-Rec, DSAN, HSD, STEAM, DCRec |
+//! | [`core`] | `ssdrec-core` | the SSDRec three-stage framework |
+//! | [`metrics`] | `ssdrec-metrics` | HR/NDCG/MRR, t-tests, OUP ratios |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use ssdrec::core::{SsdRec, SsdRecConfig};
+//! use ssdrec::data::{prepare, SyntheticConfig};
+//! use ssdrec::graph::{build_graph, GraphConfig};
+//! use ssdrec::models::{train, TrainConfig};
+//!
+//! let raw = SyntheticConfig::beauty().generate();
+//! let (dataset, split) = prepare(&raw, 50, 3);
+//! let graph = build_graph(&dataset, &GraphConfig::default());
+//! let mut model = SsdRec::new(&graph, SsdRecConfig::default());
+//! let report = train(&mut model, &split, &TrainConfig::default());
+//! println!("test HR@20 = {:.4}", report.test.hr20);
+//! ```
+
+pub use ssdrec_core as core;
+pub use ssdrec_data as data;
+pub use ssdrec_denoise as denoise;
+pub use ssdrec_graph as graph;
+pub use ssdrec_metrics as metrics;
+pub use ssdrec_models as models;
+pub use ssdrec_tensor as tensor;

@@ -1,0 +1,62 @@
+//! Integration across the data and metrics crates: loading text logs,
+//! preparing them, and evaluating with bucketed/beyond-accuracy metrics.
+
+use ssdrec::data::{parse_interactions, prepare, LoadOptions, SyntheticConfig};
+use ssdrec::metrics::{LengthBuckets, RecListAccumulator};
+use ssdrec::models::{train, BackboneKind, RecModel, SeqRec, TrainConfig};
+
+#[test]
+fn text_log_to_trained_model() {
+    // Build a small but 5-core-surviving log: 12 users × 8 interactions over
+    // 10 items, structured so each item is frequent.
+    let mut log = String::new();
+    let mut ts = 0;
+    for u in 0..12 {
+        for i in 0..8 {
+            let item = (u + i) % 10 + 1;
+            ts += 1;
+            log.push_str(&format!("{u},{item},{ts}\n"));
+        }
+    }
+    let ds = parse_interactions(&log, &LoadOptions::csv_triples()).unwrap();
+    assert_eq!(ds.num_users, 12);
+    let (filtered, split) = prepare(&ds, 50, 2);
+    assert!(!split.test.is_empty(), "log should survive 5-core filtering");
+
+    let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 0);
+    let cfg = TrainConfig { epochs: 2, batch_size: 16, ..TrainConfig::default() };
+    let report = train(&mut model, &split, &cfg);
+    assert!(report.final_loss.is_finite());
+}
+
+#[test]
+fn bucketed_metrics_partition_the_test_set() {
+    let raw = SyntheticConfig::beauty().scaled(0.12).with_seed(8).generate();
+    let (filtered, split) = prepare(&raw, 50, 2);
+    let model = SeqRec::new(BackboneKind::SasRec, filtered.num_items, 8, 50, 1);
+
+    let mut buckets = LengthBuckets::short_medium_long();
+    for ex in &split.test {
+        let recs = model.recommend(ex.user, &ex.seq, filtered.num_items);
+        let rank = recs.iter().position(|&(i, _)| i == ex.target).unwrap() + 1;
+        buckets.push(ex.seq.len(), rank);
+    }
+    let total: usize = (0..buckets.num_buckets()).map(|i| buckets.count(i)).sum();
+    assert_eq!(total, split.test.len(), "buckets must partition the test set");
+}
+
+#[test]
+fn serving_lists_feed_beyond_accuracy_metrics() {
+    let raw = SyntheticConfig::sports().scaled(0.1).with_seed(9).generate();
+    let (filtered, split) = prepare(&raw, 50, 2);
+    let model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 2);
+
+    let mut acc = RecListAccumulator::new(filtered.num_items);
+    for ex in split.test.iter().take(20) {
+        let items: Vec<usize> = model.recommend(ex.user, &ex.seq, 5).into_iter().map(|(i, _)| i).collect();
+        acc.push(&items);
+    }
+    assert!(acc.coverage() > 0.0);
+    assert!((0.0..=1.0).contains(&acc.gini()));
+    assert_eq!(acc.mean_list_len(), 5.0);
+}

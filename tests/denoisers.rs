@@ -1,0 +1,100 @@
+//! Integration tests for the five denoising baselines: each must train
+//! through the shared trainer, emit valid keep decisions, and honour its
+//! implicit/explicit nature.
+
+use ssdrec::data::{inject_unobserved, prepare, SyntheticConfig};
+use ssdrec::denoise::{DcRec, Denoiser, Dsan, FmlpRec, Hsd, Steam};
+use ssdrec::metrics::OupAccumulator;
+use ssdrec::models::{train, RecModel, TrainConfig};
+
+fn tiny_split() -> (ssdrec::data::Dataset, ssdrec::data::Split) {
+    let raw = SyntheticConfig::sports().scaled(0.12).with_seed(5).generate();
+    prepare(&raw, 50, 2)
+}
+
+fn tc() -> TrainConfig {
+    TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() }
+}
+
+#[test]
+fn all_denoisers_train_without_divergence() {
+    let (ds, split) = tiny_split();
+    let freq = ds.item_frequencies();
+
+    let mut dsan = Dsan::new(ds.num_items, 8, 0);
+    assert!(train(&mut dsan, &split, &tc()).final_loss.is_finite());
+
+    let mut fmlp = FmlpRec::new(ds.num_items, 8, 50, 1, 0);
+    assert!(train(&mut fmlp, &split, &tc()).final_loss.is_finite());
+
+    let mut hsd = Hsd::new(ds.num_users, ds.num_items, 8, 50, 0);
+    assert!(train(&mut hsd, &split, &tc()).final_loss.is_finite());
+
+    let mut dcrec = DcRec::new(ds.num_items, 8, 50, &freq, 0);
+    assert!(train(&mut dcrec, &split, &tc()).final_loss.is_finite());
+
+    let mut steam = Steam::new(ds.num_items, 8, 50, 0);
+    assert!(train(&mut steam, &split, &tc()).final_loss.is_finite());
+}
+
+#[test]
+fn implicit_methods_never_drop_items() {
+    let (ds, _split) = tiny_split();
+    let freq = ds.item_frequencies();
+    let fmlp = FmlpRec::new(ds.num_items, 8, 50, 1, 0);
+    let dcrec = DcRec::new(ds.num_items, 8, 50, &freq, 0);
+    let seq: Vec<usize> = (1..=6).map(|i| (i % ds.num_items) + 1).collect();
+    assert!(fmlp.keep_decisions(&seq, 0).iter().all(|&k| k));
+    assert!(dcrec.keep_decisions(&seq, 0).iter().all(|&k| k));
+}
+
+#[test]
+fn keep_scores_align_with_decisions_length() {
+    let (ds, _split) = tiny_split();
+    let hsd = Hsd::new(ds.num_users, ds.num_items, 8, 50, 1);
+    let steam = Steam::new(ds.num_items, 8, 50, 1);
+    let dsan = Dsan::new(ds.num_items, 8, 1);
+    let seq: Vec<usize> = (1..=7).map(|i| (i % ds.num_items) + 1).collect();
+    for (name, scores, decisions) in [
+        ("hsd", hsd.keep_scores(&seq, 0), hsd.keep_decisions(&seq, 0)),
+        ("steam", steam.keep_scores(&seq, 0), steam.keep_decisions(&seq, 0)),
+        ("dsan", dsan.keep_scores(&seq, 0), dsan.keep_decisions(&seq, 0)),
+    ] {
+        assert_eq!(scores.len(), seq.len(), "{name} scores");
+        assert_eq!(decisions.len(), seq.len(), "{name} decisions");
+        assert!(scores.iter().all(|s| s.is_finite()), "{name} non-finite score");
+    }
+}
+
+#[test]
+fn oup_measurement_pipeline_runs() {
+    // The full Fig. 1 wiring: inject noise → train → measure OUP.
+    let raw = SyntheticConfig::beauty().scaled(0.12).with_noise_ratio(0.0).with_seed(9).generate();
+    let noisy = inject_unobserved(&raw, 40, 2, 9);
+    let (ds, split) = prepare(&noisy, 50, 2);
+    let mut hsd = Hsd::new(ds.num_users, ds.num_items, 8, 50, 2);
+    train(&mut hsd, &split, &tc());
+
+    let mut acc = OupAccumulator::new();
+    for ex in &split.test {
+        let Some(noise) = &ex.noise else { continue };
+        if ex.seq.is_empty() {
+            continue;
+        }
+        acc.push(noise, &hsd.keep_decisions(&ex.seq, ex.user));
+    }
+    assert!(acc.total() > 0, "no labelled positions measured");
+    assert!((0.0..=1.0).contains(&acc.under_denoising_ratio()));
+    assert!((0.0..=1.0).contains(&acc.over_denoising_ratio()));
+}
+
+#[test]
+fn denoiser_eval_scores_cover_catalogue() {
+    let (ds, split) = tiny_split();
+    let batches = ssdrec::data::make_batches(&split.test, 16, 0);
+    let hsd = Hsd::new(ds.num_users, ds.num_items, 8, 50, 3);
+    let mut g = ssdrec::tensor::Graph::new();
+    let bind = hsd.store.bind_all(&mut g);
+    let scores = hsd.eval_scores(&mut g, &bind, &batches[0]);
+    assert_eq!(g.value(scores).shape()[1], ds.num_items + 1);
+}
