@@ -1,8 +1,8 @@
-//! Criterion bench behind Table VI: one optimisation step (forward +
-//! backward + Adam) per model on a fixed mini-batch — the unit that
-//! per-epoch time is made of.
+//! Bench behind Table VI: one optimisation step (forward + backward + Adam)
+//! per model on a fixed mini-batch — the unit that per-epoch time is made of.
+//! Runs on the in-workspace `ssdrec_testkit::bench::Harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ssdrec_testkit::bench::Harness;
 
 use ssdrec_core::{SsdRec, SsdRecConfig};
 use ssdrec_data::{make_batches, prepare, SyntheticConfig};
@@ -19,7 +19,7 @@ fn one_step<M: RecModel>(model: &mut M, batch: &ssdrec_data::Batch, opt: &mut Ad
     opt.step(model.store_mut(), &bind, &mut grads);
 }
 
-fn bench_steps(c: &mut Criterion) {
+fn main() {
     let raw = SyntheticConfig::beauty().scaled(0.25).generate();
     let (ds, split) = prepare(&raw, 50, 2);
     let graph = build_graph(&ds, &GraphConfig::default());
@@ -33,28 +33,35 @@ fn bench_steps(c: &mut Criterion) {
 
     let mut sasrec = SeqRec::new(BackboneKind::SasRec, ds.num_items, d, 50, 0);
     let mut hsd = Hsd::new(ds.num_users, ds.num_items, d, 50, 0);
-    let cfg = SsdRecConfig { dim: d, max_len: 50, backbone: BackboneKind::SasRec, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: d,
+        max_len: 50,
+        backbone: BackboneKind::SasRec,
+        ..SsdRecConfig::default()
+    };
     let mut ssdrec = SsdRec::new(&graph, cfg);
 
-    let mut group = c.benchmark_group("train_step");
-    group.sample_size(10);
-    group.bench_function("sasrec", |b| {
+    let mut h = Harness::new("epoch_time");
+    {
         let mut opt = Adam::new(1e-3);
         let mut rng = Rng::seed(1);
-        b.iter(|| one_step(&mut sasrec, &batch, &mut opt, &mut rng))
-    });
-    group.bench_function("hsd", |b| {
+        h.bench("train_step/sasrec", || {
+            one_step(&mut sasrec, &batch, &mut opt, &mut rng)
+        });
+    }
+    {
         let mut opt = Adam::new(1e-3);
         let mut rng = Rng::seed(2);
-        b.iter(|| one_step(&mut hsd, &batch, &mut opt, &mut rng))
-    });
-    group.bench_function("ssdrec", |b| {
+        h.bench("train_step/hsd", || {
+            one_step(&mut hsd, &batch, &mut opt, &mut rng)
+        });
+    }
+    {
         let mut opt = Adam::new(1e-3);
         let mut rng = Rng::seed(3);
-        b.iter(|| one_step(&mut ssdrec, &batch, &mut opt, &mut rng))
-    });
-    group.finish();
+        h.bench("train_step/ssdrec", || {
+            one_step(&mut ssdrec, &batch, &mut opt, &mut rng)
+        });
+    }
+    h.finish();
 }
-
-criterion_group!(benches, bench_steps);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks for the substrate kernels that dominate
-//! training time: matmul, softmax, the relation-graph construction and the
-//! Bi-LSTM unroll.
+//! Micro-benchmarks for the substrate kernels that dominate training time:
+//! matmul, softmax, the relation-graph construction and the Bi-LSTM unroll.
+//! Runs on the in-workspace `ssdrec_testkit::bench::Harness` (set
+//! `SSDREC_BENCH_FAST=1` to smoke-test without measurement time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdrec_testkit::bench::Harness;
 
 use ssdrec_data::SyntheticConfig;
 use ssdrec_graph::{build_graph, GraphConfig};
@@ -15,58 +16,54 @@ fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
     Tensor::new((0..n).map(|_| rng.uniform(-1.0, 1.0)).collect(), shape)
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(h: &mut Harness) {
     for &n in &[32usize, 64, 128] {
         let a = rand_tensor(&[n, n], 1);
         let b = rand_tensor(&[n, n], 2);
-        group.bench_with_input(BenchmarkId::new("square", n), &n, |bench, _| {
-            bench.iter(|| kernels::matmul(&a, &b))
-        });
+        h.bench(&format!("matmul/square/{n}"), || kernels::matmul(&a, &b));
     }
     // The scoring matmul shape: B×d against d×V.
-    let h = rand_tensor(&[64, 32], 3);
+    let hm = rand_tensor(&[64, 32], 3);
     let table = rand_tensor(&[32, 400], 4);
-    group.bench_function("score_64x32x400", |bench| bench.iter(|| kernels::matmul(&h, &table)));
-    group.finish();
+    h.bench("matmul/score_64x32x400", || kernels::matmul(&hm, &table));
 }
 
-fn bench_softmax_layer_norm(c: &mut Criterion) {
+fn bench_softmax_layer_norm(h: &mut Harness) {
     let x = rand_tensor(&[64, 400], 5);
-    c.bench_function("softmax_64x400", |b| b.iter(|| kernels::softmax_last(&x)));
+    h.bench("softmax_64x400", || kernels::softmax_last(&x));
     let g = Tensor::ones(&[400]);
     let be = Tensor::zeros(&[400]);
-    c.bench_function("layer_norm_64x400", |b| b.iter(|| kernels::layer_norm(&x, &g, &be)));
+    h.bench("layer_norm_64x400", || kernels::layer_norm(&x, &g, &be));
 }
 
-fn bench_graph_build(c: &mut Criterion) {
+fn bench_graph_build(h: &mut Harness) {
     let ds = SyntheticConfig::beauty().scaled(0.35).generate();
-    c.bench_function("multi_relation_graph_build", |b| {
-        b.iter(|| build_graph(&ds, &GraphConfig::default()))
+    h.bench("multi_relation_graph_build", || {
+        build_graph(&ds, &GraphConfig::default())
     });
 }
 
-fn bench_bilstm(c: &mut Criterion) {
+fn bench_bilstm(h: &mut Harness) {
     let mut store = ParamStore::new();
     let mut rng = Rng::seed(6);
     let lstm = BiLstm::new(&mut store, "b", 32, 32, &mut rng);
     let x0 = rand_tensor(&[16, 20, 32], 7);
-    c.bench_function("bilstm_16x20x32_fwd_bwd", |b| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            let bind = store.bind_all(&mut g);
-            let x = g.constant(x0.clone());
-            let (hl, hr) = lstm.forward(&mut g, &bind, x);
-            let p = g.mul(hl, hr);
-            let loss = g.sum_all(p);
-            g.backward(loss)
-        })
+    h.bench("bilstm_16x20x32_fwd_bwd", || {
+        let mut g = Graph::new();
+        let bind = store.bind_all(&mut g);
+        let x = g.constant(x0.clone());
+        let (hl, hr) = lstm.forward(&mut g, &bind, x);
+        let p = g.mul(hl, hr);
+        let loss = g.sum_all(p);
+        g.backward(loss)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_softmax_layer_norm, bench_graph_build, bench_bilstm
+fn main() {
+    let mut h = Harness::new("kernels");
+    bench_matmul(&mut h);
+    bench_softmax_layer_norm(&mut h);
+    bench_graph_build(&mut h);
+    bench_bilstm(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

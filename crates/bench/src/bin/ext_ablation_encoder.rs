@@ -37,5 +37,9 @@ fn main() {
             ));
         }
     }
-    write_results("ext_ablation_encoder.csv", "dataset,aggregation,hr20,ndcg20,mrr20", &csv);
+    write_results(
+        "ext_ablation_encoder.csv",
+        "dataset,aggregation,hr20,ndcg20,mrr20",
+        &csv,
+    );
 }

@@ -70,5 +70,9 @@ fn main() {
             ));
         }
     }
-    write_results("ext_ablation_keep_rule.csv", "beta,kappa,hr20,under_ratio,over_ratio", &csv);
+    write_results(
+        "ext_ablation_keep_rule.csv",
+        "beta,kappa,hr20,under_ratio,over_ratio",
+        &csv,
+    );
 }

@@ -17,7 +17,11 @@ fn measure<M: RecModel>(model: &M, prep: &ssdrec_bench::Prepared, k: usize) -> (
         if ex.seq.is_empty() {
             continue;
         }
-        let items: Vec<usize> = model.recommend(ex.user, &ex.seq, k).into_iter().map(|(i, _)| i).collect();
+        let items: Vec<usize> = model
+            .recommend(ex.user, &ex.seq, k)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         acc.push(&items);
     }
     let freq = prep.dataset.item_frequencies();
@@ -39,7 +43,13 @@ fn main() {
         let prep = prepare_profile(ds, &h);
 
         // Bare SASRec.
-        let mut base = SeqRec::new(BackboneKind::SasRec, prep.dataset.num_items, h.dim, prep.max_len, h.seed);
+        let mut base = SeqRec::new(
+            BackboneKind::SasRec,
+            prep.dataset.num_items,
+            h.dim,
+            prep.max_len,
+            h.seed,
+        );
         let _ = ssdrec_models::train(&mut base, &prep.split, &h.train_config());
         let (c, g, p) = measure(&base, &prep, k);
         println!("{ds:<10} {:<14} {c:>9.3} {g:>7.3} {p:>10.2}", "SASRec");
@@ -48,8 +58,15 @@ fn main() {
         // SASRec inside SSDRec.
         let (model, _report) = run_ssdrec(BackboneKind::SasRec, (true, true, true), &prep, &h, 1.0);
         let (c, g, p) = measure(&model, &prep, k);
-        println!("{ds:<10} {:<14} {c:>9.3} {g:>7.3} {p:>10.2}", "SSDRec[SASRec]");
+        println!(
+            "{ds:<10} {:<14} {c:>9.3} {g:>7.3} {p:>10.2}",
+            "SSDRec[SASRec]"
+        );
         csv.push(format!("{ds},SSDRec,{c:.4},{g:.4},{p:.4}"));
     }
-    write_results("ext_beyond_accuracy.csv", "dataset,model,coverage,gini,popularity_bias", &csv);
+    write_results(
+        "ext_beyond_accuracy.csv",
+        "dataset,model,coverage,gini,popularity_bias",
+        &csv,
+    );
 }

@@ -40,7 +40,13 @@ fn main() {
     for ds in &datasets {
         let prep = prepare_profile(ds, &h);
 
-        let mut base = SeqRec::new(BackboneKind::SasRec, prep.dataset.num_items, h.dim, prep.max_len, h.seed);
+        let mut base = SeqRec::new(
+            BackboneKind::SasRec,
+            prep.dataset.num_items,
+            h.dim,
+            prep.max_len,
+            h.seed,
+        );
         train(&mut base, &prep.split, &h.train_config());
         let base_b = bucketed(&base, &prep.split);
 
@@ -48,7 +54,10 @@ fn main() {
         let ssd_b = bucketed(&model, &prep.split);
 
         println!("\n=== {ds}: HR@20 by history length ===");
-        println!("{:<10} {:>6} {:>10} {:>10} {:>10}", "bucket", "n", "SASRec", "SSDRec", "Δ");
+        println!(
+            "{:<10} {:>6} {:>10} {:>10} {:>10}",
+            "bucket", "n", "SASRec", "SSDRec", "Δ"
+        );
         for i in 0..base_b.num_buckets() {
             let n = base_b.count(i);
             if n == 0 {
@@ -56,9 +65,17 @@ fn main() {
             }
             let b = base_b.report(i).hr20;
             let s = ssd_b.report(i).hr20;
-            println!("{:<10} {n:>6} {b:>10.4} {s:>10.4} {:>+10.4}", base_b.label(i), s - b);
+            println!(
+                "{:<10} {n:>6} {b:>10.4} {s:>10.4} {:>+10.4}",
+                base_b.label(i),
+                s - b
+            );
             csv.push(format!("{ds},{},{n},{b:.6},{s:.6}", base_b.label(i)));
         }
     }
-    write_results("ext_length_breakdown.csv", "dataset,bucket,n,sasrec_hr20,ssdrec_hr20", &csv);
+    write_results(
+        "ext_length_breakdown.csv",
+        "dataset,bucket,n,sasrec_hr20,ssdrec_hr20",
+        &csv,
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
 
     let prep = prepare_profile("ml-100k", &h);
     let (model, report) = run_ssdrec(BackboneKind::SasRec, (true, true, true), &prep, &h, 1.0);
-    println!("trained SSDRec on ml-100k: test HR@20 {:.4}\n", report.test.hr20);
+    println!(
+        "trained SSDRec on ml-100k: test HR@20 {:.4}\n",
+        report.test.hr20
+    );
 
     let mut rng = Rng::seed(h.seed);
     let mut csv = Vec::new();

@@ -54,5 +54,9 @@ fn main() {
             ds.sparsity()
         ));
     }
-    write_results("table2_stats.csv", "dataset,users,items,actions,avg_len,sparsity_pct", &csv);
+    write_results(
+        "table2_stats.csv",
+        "dataset,users,items,actions,avg_len,sparsity_pct",
+        &csv,
+    );
 }

@@ -40,15 +40,24 @@ fn main() {
     let mut csv = Vec::new();
     for ds in &datasets {
         let prep = prepare_profile(ds, &h);
-        println!("\n=== Table III — {ds} ({} test users) ===", prep.split.test.len());
+        println!(
+            "\n=== Table III — {ds} ({} test users) ===",
+            prep.split.test.len()
+        );
         println!("{}", metric_header());
         for kind in &models {
             let base = run_backbone(*kind, &prep, &h);
-            println!("{}", metric_row(&format!("{} (w/o)", kind.name()), &base.test));
+            println!(
+                "{}",
+                metric_row(&format!("{} (w/o)", kind.name()), &base.test)
+            );
             csv.push(metric_csv(ds, &format!("{}-wo", kind.name()), &base.test));
 
             let (_m, with) = run_ssdrec(*kind, (true, true, true), &prep, &h, 1.0);
-            println!("{}", metric_row(&format!("{} (w)", kind.name()), &with.test));
+            println!(
+                "{}",
+                metric_row(&format!("{} (w)", kind.name()), &with.test)
+            );
             csv.push(metric_csv(ds, &format!("{}-w", kind.name()), &with.test));
 
             let imp = with.test.improvement_over(&base.test);

@@ -45,16 +45,25 @@ fn main() {
 
         if let Some((bname, best)) = best_baseline {
             let imp = ssdrec.test.improvement_over(&best.test);
-            println!("{:<18} {:>+8.2}%  (over strongest baseline: {bname})", "  improvement", imp);
+            println!(
+                "{:<18} {:>+8.2}%  (over strongest baseline: {bname})",
+                "  improvement", imp
+            );
             // Per-user HR@20 indicators for significance.
             let ind = |ranks: &[usize]| -> Vec<f64> {
-                ranks.iter().map(|&r| if r <= 20 { 1.0 } else { 0.0 }).collect()
+                ranks
+                    .iter()
+                    .map(|&r| if r <= 20 { 1.0 } else { 0.0 })
+                    .collect()
             };
             let a = ind(&ssdrec.test_ranks);
             let b = ind(&best.test_ranks);
             if a.len() >= 2 && b.len() >= 2 {
                 let tt = welch_t_test(&a, &b);
-                println!("  two-sided t-test vs {bname}: t={:.3}, p={:.4}", tt.t, tt.p);
+                println!(
+                    "  two-sided t-test vs {bname}: t={:.3}, p={:.4}",
+                    tt.t, tt.p
+                );
             }
         }
     }

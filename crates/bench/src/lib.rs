@@ -125,7 +125,12 @@ pub fn prepare_profile(name: &str, h: &HarnessConfig) -> Prepared {
     let max_len = max_len_for(name);
     let (dataset, split) = prepare(&raw, max_len, h.max_train_prefixes);
     let graph = build_graph(&dataset, &GraphConfig::default());
-    Prepared { dataset, split, graph, max_len }
+    Prepared {
+        dataset,
+        split,
+        graph,
+        max_len,
+    }
 }
 
 /// Train a vanilla backbone (Table III "w/o" columns).
@@ -176,7 +181,13 @@ pub enum DenoiserKind {
 impl DenoiserKind {
     /// All baselines in the paper's Table IV order.
     pub fn all() -> [DenoiserKind; 5] {
-        [DenoiserKind::Dsan, DenoiserKind::Fmlp, DenoiserKind::Hsd, DenoiserKind::DcRec, DenoiserKind::Steam]
+        [
+            DenoiserKind::Dsan,
+            DenoiserKind::Fmlp,
+            DenoiserKind::Hsd,
+            DenoiserKind::DcRec,
+            DenoiserKind::Steam,
+        ]
     }
 
     /// Display name.
@@ -290,8 +301,16 @@ pub fn datasets_from_args(args: &[String]) -> Vec<String> {
 
 /// Mean per-epoch training seconds and one-pass inference seconds for an
 /// arbitrary model (Table VI measurement without full convergence).
-pub fn measure_efficiency<M: RecModel>(model: &mut M, split: &Split, h: &HarnessConfig) -> (f64, f64) {
-    let tc = TrainConfig { epochs: 1, patience: 10, ..h.train_config() };
+pub fn measure_efficiency<M: RecModel>(
+    model: &mut M,
+    split: &Split,
+    h: &HarnessConfig,
+) -> (f64, f64) {
+    let tc = TrainConfig {
+        epochs: 1,
+        patience: 10,
+        ..h.train_config()
+    };
     let report = train(model, split, &tc);
     (report.train_secs_per_epoch, report.infer_secs)
 }

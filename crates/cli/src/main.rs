@@ -82,7 +82,12 @@ fn prepare_data(a: &Args) -> Result<Prepared, String> {
         return Err("no usable sequences after 5-core filtering".into());
     }
     let graph = build_graph(&dataset, &GraphConfig::default());
-    Ok(Prepared { dataset, split, graph, max_len })
+    Ok(Prepared {
+        dataset,
+        split,
+        graph,
+        max_len,
+    })
 }
 
 fn build_ssdrec(a: &Args, prep: &Prepared) -> Result<SsdRec, String> {
@@ -117,8 +122,11 @@ fn cmd_stats(a: &Args) -> Result<(), String> {
     println!("sparsity    : {:.2}%", ds.sparsity());
     let graph = build_graph(&ds, &GraphConfig::default());
     println!("graph edges : {} (5 relation types)", graph.total_edges());
-    println!("
-{}", ssdrec_graph::GraphReport::new(&graph).to_table());
+    println!(
+        "
+{}",
+        ssdrec_graph::GraphReport::new(&graph).to_table()
+    );
     Ok(())
 }
 
@@ -165,7 +173,9 @@ fn cmd_recommend(a: &Args) -> Result<(), String> {
         load_params(&mut model.store, ckpt).map_err(|e| e.to_string())?;
         println!("loaded checkpoint {ckpt}");
     } else {
-        return Err("recommend requires --model CKPT (train one with `ssdrec train --out ...`)".into());
+        return Err(
+            "recommend requires --model CKPT (train one with `ssdrec train --out ...`)".into(),
+        );
     }
     let user: usize = a.get_parse("user", 0)?;
     let k: usize = a.get_parse("k", 10)?;
@@ -178,8 +188,18 @@ fn cmd_recommend(a: &Args) -> Result<(), String> {
     println!("user {user} history: {:?}", ex.seq);
     println!("top-{k} recommendations:");
     for (rank, (item, score)) in model.recommend(user, &ex.seq, k).iter().enumerate() {
-        let mark = if *item == ex.target { "  ← held-out next item" } else { "" };
-        println!("  {:>2}. item {:>5}  score {:+.4}{}", rank + 1, item, score, mark);
+        let mark = if *item == ex.target {
+            "  ← held-out next item"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>2}. item {:>5}  score {:+.4}{}",
+            rank + 1,
+            item,
+            score,
+            mark
+        );
     }
     Ok(())
 }

@@ -49,7 +49,10 @@ pub struct Augmented {
 impl SelfAugmenter {
     /// Build for representation width `d`.
     pub fn new(store: &mut ParamStore, name: &str, d: usize, rng: &mut Rng) -> Self {
-        SelfAugmenter { bilstm: BiLstm::new(store, &format!("{name}.bilstm"), d, d, rng), dim: d }
+        SelfAugmenter {
+            bilstm: BiLstm::new(store, &format!("{name}.bilstm"), d, d, rng),
+            dim: d,
+        }
     }
 
     /// Eq. 9 + Eq. 10: the combined inconsistency distribution `r_S`
@@ -160,7 +163,11 @@ impl SelfAugmenter {
     ///
     /// New layout per sequence with position `p`:
     /// `[s_1 … s_{p-1}, h^L, s_p, h^R, s_{p+1} … s_T]`.
-    pub fn insertion_operators(b: usize, t: usize, positions: &[usize]) -> (Tensor, Tensor, Tensor) {
+    pub fn insertion_operators(
+        b: usize,
+        t: usize,
+        positions: &[usize],
+    ) -> (Tensor, Tensor, Tensor) {
         let t2 = t + 2;
         let mut gmat = Tensor::zeros(&[b, t2, t]);
         let mut pl = Tensor::zeros(&[b, t2, 1]);
@@ -245,7 +252,10 @@ mod tests {
 
     fn rand_seq(b: usize, t: usize, d: usize, seed: u64) -> Tensor {
         let mut rng = Rng::seed(seed);
-        Tensor::new((0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[b, t, d])
+        Tensor::new(
+            (0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+            &[b, t, d],
+        )
     }
 
     #[test]
@@ -300,7 +310,13 @@ mod tests {
         for bi in 0..2 {
             let p = out.positions[bi];
             for i in 0..4 {
-                let j = if i < p { i } else if i == p { i + 1 } else { i + 2 };
+                let j = if i < p {
+                    i
+                } else if i == p {
+                    i + 1
+                } else {
+                    i + 2
+                };
                 let orig = &h0.data()[(bi * 4 + i) * 8..(bi * 4 + i + 1) * 8];
                 let moved = &hv.data()[(bi * 6 + j) * 8..(bi * 6 + j + 1) * 8];
                 assert_eq!(orig, moved, "b={bi} i={i}");

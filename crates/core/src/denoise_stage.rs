@@ -90,7 +90,7 @@ impl HierarchicalDenoiser {
     ) -> (Var, Var, Var) {
         let (b, t2, d) = g.value(aug.h_aug).dims3();
         let r = self.hdm.inconsistency_scores(g, bind, aug.h_aug); // B×T2 (>0)
-        // Normalise to a distribution.
+                                                                   // Normalise to a distribution.
         let sums = g.sum_last(r); // B
         let sums = g.add_scalar(sums, 1e-9);
         let s2 = g.reshape(sums, &[b, 1]);
@@ -151,7 +151,9 @@ impl HierarchicalDenoiser {
         if let Some(p) = prior {
             probs_raw = g.mul(probs_raw, p);
         }
-        let cal = self.hsd.calibrate(g, probs_raw, self.keep_beta, self.keep_kappa);
+        let cal = self
+            .hsd
+            .calibrate(g, probs_raw, self.keep_beta, self.keep_kappa);
         let mask = self.hsd.sample_mask(g, rng, cal, tau);
         let denoised = self.hsd.apply_mask(g, h_raw, mask);
         (denoised, probs_raw)
@@ -211,7 +213,10 @@ mod tests {
 
     fn rand_seq(b: usize, t: usize, d: usize, seed: u64) -> Tensor {
         let mut rng = Rng::seed(seed);
-        Tensor::new((0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[b, t, d])
+        Tensor::new(
+            (0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+            &[b, t, d],
+        )
     }
 
     fn setup(d: usize) -> (ParamStore, SelfAugmenter, HierarchicalDenoiser) {
@@ -257,7 +262,13 @@ mod tests {
         let ctx = g.value(probs_ctx).data().to_vec();
         let raw = g.value(praw).data().to_vec();
         for (i, &rv) in raw.iter().enumerate().take(5) {
-            let j = if i < p { i } else if i == p { i + 1 } else { i + 2 };
+            let j = if i < p {
+                i
+            } else if i == p {
+                i + 1
+            } else {
+                i + 2
+            };
             assert!((rv - ctx[j]).abs() < 1e-6, "i={i} j={j}");
         }
     }

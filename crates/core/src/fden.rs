@@ -83,7 +83,10 @@ mod tests {
 
     fn rand_seq(b: usize, t: usize, d: usize, seed: u64) -> Tensor {
         let mut rng = Rng::seed(seed);
-        Tensor::new((0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[b, t, d])
+        Tensor::new(
+            (0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+            &[b, t, d],
+        )
     }
 
     #[test]

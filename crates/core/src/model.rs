@@ -307,7 +307,11 @@ impl SsdRec {
                     self.tau,
                     prior,
                 );
-                gate = Some(GateInfo { probs, h_seq, prior });
+                gate = Some(GateInfo {
+                    probs,
+                    h_seq,
+                    prior,
+                });
                 denoised
             } else {
                 // w/o stage 3: the refined/augmented sequence feeds the
@@ -316,9 +320,14 @@ impl SsdRec {
                 refined
             }
         } else if self.cfg.stage3 {
-            let (denoised, probs) =
-                self.denoiser.denoise_train(g, bind, rng, h_seq, h_seq, None, hu, self.tau, prior);
-            gate = Some(GateInfo { probs, h_seq, prior });
+            let (denoised, probs) = self
+                .denoiser
+                .denoise_train(g, bind, rng, h_seq, h_seq, None, hu, self.tau, prior);
+            gate = Some(GateInfo {
+                probs,
+                h_seq,
+                prior,
+            });
             denoised
         } else {
             h_seq
@@ -391,11 +400,17 @@ impl SsdRec {
 
         // Augmented score (stage 2, pre-denoising).
         let (position, inserted, augmented_score) = if self.cfg.stage2 && seq.len() >= 2 {
-            let aug = self.augmenter.augment(&mut g, &bind, rng, h_seq, items, self.tau);
+            let aug = self
+                .augmenter
+                .augment(&mut g, &bind, rng, h_seq, items, self.tau);
             let h_a = self.backbone.encode(&mut g, &bind, aug.h_aug);
             let a_logits = self.score_repr(&mut g, items, h_a);
             let s = g.value(a_logits).data()[target];
-            (Some(aug.positions[0]), Some((aug.left_items[0], aug.right_items[0])), s)
+            (
+                Some(aug.positions[0]),
+                Some((aug.left_items[0], aug.right_items[0])),
+                s,
+            )
         } else {
             (None, None, raw_score)
         };
@@ -436,7 +451,11 @@ impl RecModel for SsdRec {
         let mean = g.mean_all(picked);
         let ce = g.neg(mean);
         match gate {
-            Some(GateInfo { probs, h_seq, prior }) => {
+            Some(GateInfo {
+                probs,
+                h_seq,
+                prior,
+            }) => {
                 // Gate supervision: regress the keep probability onto the
                 // graph-coherence prior (stage-1 knowledge) when available,
                 // else onto HSD's intra-sequence correlation signal.
@@ -511,7 +530,11 @@ mod tests {
     fn toy_model(cfg_mod: impl Fn(&mut SsdRecConfig)) -> SsdRec {
         let ds = SyntheticConfig::beauty().scaled(0.1).generate();
         let mg = build_graph(&ds, &GraphConfig::default());
-        let mut cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+        let mut cfg = SsdRecConfig {
+            dim: 8,
+            max_len: 50,
+            ..SsdRecConfig::default()
+        };
         cfg_mod(&mut cfg);
         SsdRec::new(&mg, cfg)
     }
@@ -555,7 +578,11 @@ mod tests {
 
     #[test]
     fn every_ablation_variant_trains() {
-        for (s1, s2, s3) in [(false, true, true), (true, false, true), (true, true, false)] {
+        for (s1, s2, s3) in [
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
             let m = toy_model(|c| {
                 c.stage1 = s1;
                 c.stage2 = s2;
@@ -630,7 +657,11 @@ mod curriculum_tests {
     fn model_with(cfg_mod: impl Fn(&mut SsdRecConfig)) -> SsdRec {
         let ds = SyntheticConfig::beauty().scaled(0.1).generate();
         let mg = build_graph(&ds, &GraphConfig::default());
-        let mut cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+        let mut cfg = SsdRecConfig {
+            dim: 8,
+            max_len: 50,
+            ..SsdRecConfig::default()
+        };
         cfg_mod(&mut cfg);
         SsdRec::new(&mg, cfg)
     }
@@ -644,7 +675,10 @@ mod curriculum_tests {
         m.on_epoch_start(4, 10);
         assert!(!m.aug_active);
         m.on_epoch_start(5, 10);
-        assert!(m.aug_active, "augmentation must activate after the warm-up fraction");
+        assert!(
+            m.aug_active,
+            "augmentation must activate after the warm-up fraction"
+        );
     }
 
     #[test]
@@ -737,7 +771,12 @@ mod fden_tests {
         let ds = SyntheticConfig::beauty().scaled(0.1).generate();
         let mg = build_graph(&ds, &GraphConfig::default());
         let run = |fden: FdenKind| {
-            let cfg = SsdRecConfig { dim: 8, max_len: 50, fden, ..SsdRecConfig::default() };
+            let cfg = SsdRecConfig {
+                dim: 8,
+                max_len: 50,
+                fden,
+                ..SsdRecConfig::default()
+            };
             let m = SsdRec::new(&mg, cfg);
             let seq: Vec<usize> = (1..=6).map(|i| (i % m.num_items()) + 1).collect();
             m.keep_scores_for(&seq, 0)

@@ -145,7 +145,13 @@ impl GlobalRelationEncoder {
 
     /// Encode all nodes. `item_table` is the `(V+1)×d` embedding table,
     /// `user_table` the `U×d` one.
-    pub fn forward(&self, g: &mut Graph, bind: &Binding, item_table: Var, user_table: Var) -> RelationOutput {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        item_table: Var,
+        user_table: Var,
+    ) -> RelationOutput {
         let (v, _d) = g.value(item_table).dims2();
 
         // --- item transitional (Eq. 2–3) ---------------------------------
@@ -228,7 +234,14 @@ mod tests {
     use ssdrec_graph::{build_graph, GraphConfig};
     use ssdrec_tensor::nn::Embedding;
 
-    fn setup() -> (ParamStore, Embedding, Embedding, GlobalRelationEncoder, usize, usize) {
+    fn setup() -> (
+        ParamStore,
+        Embedding,
+        Embedding,
+        GlobalRelationEncoder,
+        usize,
+        usize,
+    ) {
         let ds = SyntheticConfig::beauty().scaled(0.1).generate();
         let mg = build_graph(&ds, &GraphConfig::default());
         let mut store = ParamStore::new();

@@ -1,22 +1,22 @@
-//! Property-based tests of SSDRec's core machinery.
+//! Property-based tests of SSDRec's core machinery, running on the
+//! in-workspace `ssdrec-testkit` property framework.
 
-use proptest::prelude::*;
+use ssdrec_testkit::{gens, property};
 
 use ssdrec_core::SelfAugmenter;
 use ssdrec_tensor::{kernels, Tensor};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+property! {
+    cases = 64;
 
     /// The insertion operators form a valid scatter: every original row
     /// appears exactly once in the copy matrix, rows of the new layout are
     /// one-hot or zero, and the two placement vectors hit the inserted slots
     /// (which the copy matrix leaves empty).
-    #[test]
     fn insertion_operators_are_valid_scatter(
-        t in 1usize..12,
-        pos_seed in any::<u64>(),
-        b in 1usize..5,
+        t in gens::usizes(1, 12),
+        pos_seed in gens::u64s(),
+        b in gens::usizes(1, 5),
     ) {
         let positions: Vec<usize> = (0..b).map(|i| ((pos_seed >> (i * 8)) as usize) % t).collect();
         let (gm, pl, pr) = SelfAugmenter::insertion_operators(b, t, &positions);
@@ -25,37 +25,36 @@ proptest! {
             // Column sums: each original row copied exactly once.
             for col in 0..t {
                 let s: f32 = (0..t2).map(|row| gm.data()[(bi * t2 + row) * t + col]).sum();
-                prop_assert!((s - 1.0).abs() < 1e-6, "b={bi} col={col} sum={s}");
+                assert!((s - 1.0).abs() < 1e-6, "b={bi} col={col} sum={s}");
             }
             // Row sums: 0 (inserted slots) or 1 (copied slots).
             let mut empty_rows = Vec::new();
             for row in 0..t2 {
                 let s: f32 = (0..t).map(|col| gm.data()[(bi * t2 + row) * t + col]).sum();
-                prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-6);
+                assert!(s == 0.0 || (s - 1.0).abs() < 1e-6);
                 if s == 0.0 {
                     empty_rows.push(row);
                 }
             }
-            prop_assert_eq!(empty_rows.len(), 2, "exactly two inserted slots");
+            assert_eq!(empty_rows.len(), 2, "exactly two inserted slots");
             // Placements land exactly on the empty rows.
             let pl_row = (0..t2).find(|&r| pl.data()[bi * t2 + r] > 0.5).unwrap();
             let pr_row = (0..t2).find(|&r| pr.data()[bi * t2 + r] > 0.5).unwrap();
-            prop_assert!(empty_rows.contains(&pl_row));
-            prop_assert!(empty_rows.contains(&pr_row));
-            prop_assert!(pl_row < pr_row, "left insert must precede right insert");
+            assert!(empty_rows.contains(&pl_row));
+            assert!(empty_rows.contains(&pr_row));
+            assert!(pl_row < pr_row, "left insert must precede right insert");
         }
     }
 
     /// Applying the copy matrix then reading back through it is lossless for
     /// the original rows (Gᵀ·(G·x) = x since G has orthonormal rows/cols in
     /// the scatter sense).
-    #[test]
     fn copy_matrix_roundtrip(
-        t in 2usize..8,
-        p_raw in any::<usize>(),
-        vals in prop::collection::vec(-5.0f32..5.0, 8),
+        t in gens::usizes(2, 8),
+        p_raw in gens::u64s(),
+        vals in gens::vec_exact(gens::f32s(-5.0, 5.0), 8),
     ) {
-        let p = p_raw % t;
+        let p = (p_raw as usize) % t;
         let (gm, _, _) = SelfAugmenter::insertion_operators(1, t, &[p]);
         let d = 1usize;
         let x = Tensor::new(vals[..t].to_vec(), &[1, t, d]);
@@ -64,7 +63,7 @@ proptest! {
         let up2 = up.clone().reshaped(&[1, 1, t + 2]);
         let back = kernels::matmul(&up2, &gm); // 1×1×t
         for (a, b) in back.data().iter().zip(x.data()) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5);
         }
     }
 }

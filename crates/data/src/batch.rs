@@ -4,8 +4,7 @@
 //! need for padding or masking inside the models — every tensor in a batch
 //! is dense `B×T`. The paper's batch size (256) applies per bucket.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use ssdrec_testkit::Rng;
 use std::collections::BTreeMap;
 
 use crate::interaction::Example;
@@ -48,11 +47,8 @@ impl Batch {
 pub fn make_batches(examples: &[Example], batch_size: usize, seed: u64) -> Vec<Batch> {
     assert!(batch_size > 0, "batch_size must be positive");
     let mut order: Vec<usize> = (0..examples.len()).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    for i in (1..order.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        order.swap(i, j);
-    }
+    let mut rng = Rng::seed(seed);
+    rng.shuffle(&mut order);
 
     // Bucket by exact length, preserving shuffled order inside buckets.
     let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
@@ -70,7 +66,11 @@ pub fn make_batches(examples: &[Example], batch_size: usize, seed: u64) -> Vec<B
             let mut items = Vec::with_capacity(chunk.len() * len);
             let mut targets = Vec::with_capacity(chunk.len());
             let has_noise = examples[chunk[0]].noise.is_some();
-            let mut noise = if has_noise { Some(Vec::with_capacity(chunk.len() * len)) } else { None };
+            let mut noise = if has_noise {
+                Some(Vec::with_capacity(chunk.len() * len))
+            } else {
+                None
+            };
             for &i in chunk {
                 let ex = &examples[i];
                 users.push(ex.user);
@@ -80,15 +80,18 @@ pub fn make_batches(examples: &[Example], batch_size: usize, seed: u64) -> Vec<B
                     nv.extend_from_slice(exn);
                 }
             }
-            batches.push(Batch { users, items, seq_len: len, targets, noise });
+            batches.push(Batch {
+                users,
+                items,
+                seq_len: len,
+                targets,
+                noise,
+            });
         }
     }
 
     // Shuffle batch order so the model does not see lengths in sorted order.
-    for i in (1..batches.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        batches.swap(i, j);
-    }
+    rng.shuffle(&mut batches);
     batches
 }
 
@@ -97,7 +100,12 @@ mod tests {
     use super::*;
 
     fn ex(user: usize, seq: &[usize], target: usize) -> Example {
-        Example { user, seq: seq.to_vec(), target, noise: None }
+        Example {
+            user,
+            seq: seq.to_vec(),
+            target,
+            noise: None,
+        }
     }
 
     fn toy_examples() -> Vec<Example> {
@@ -136,7 +144,9 @@ mod tests {
             for i in 0..b.len() {
                 let pos = examples
                     .iter()
-                    .position(|e| e.user == b.users[i] && e.seq == b.seq(i) && e.target == b.targets[i])
+                    .position(|e| {
+                        e.user == b.users[i] && e.seq == b.seq(i) && e.target == b.targets[i]
+                    })
                     .expect("batched example not found");
                 assert!(!seen[pos], "duplicate example");
                 seen[pos] = true;
@@ -163,6 +173,9 @@ mod tests {
             noise: Some(vec![false, true, false]),
         }];
         let batches = make_batches(&examples, 4, 0);
-        assert_eq!(batches[0].noise.as_ref().unwrap(), &vec![false, true, false]);
+        assert_eq!(
+            batches[0].noise.as_ref().unwrap(),
+            &vec![false, true, false]
+        );
     }
 }

@@ -97,7 +97,10 @@ impl Dataset {
         for (u, seq) in self.sequences.iter().enumerate() {
             for &it in seq {
                 if it == PAD_ITEM || it > self.num_items {
-                    return Err(format!("user {u}: item {it} out of range 1..={}", self.num_items));
+                    return Err(format!(
+                        "user {u}: item {it} out of range 1..={}",
+                        self.num_items
+                    ));
                 }
             }
         }

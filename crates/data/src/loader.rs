@@ -68,7 +68,10 @@ impl LoadOptions {
 }
 
 fn parse_err(line_no: usize, msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {}", msg.into()))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {line_no}: {}", msg.into()),
+    )
 }
 
 /// Parse interaction text into a [`Dataset`].
@@ -90,7 +93,10 @@ pub fn parse_interactions(content: &str, opts: &LoadOptions) -> io::Result<Datas
         }
         let fields: Vec<&str> = line.split(opts.delimiter).collect();
         if fields.len() <= max_col {
-            return Err(parse_err(i + 1, format!("expected > {max_col} fields, got {}", fields.len())));
+            return Err(parse_err(
+                i + 1,
+                format!("expected > {max_col} fields, got {}", fields.len()),
+            ));
         }
         if let Some((rc, min)) = opts.min_rating {
             let rating: f64 = fields[rc]
@@ -147,7 +153,8 @@ pub fn parse_interactions(content: &str, opts: &LoadOptions) -> io::Result<Datas
         sequences,
         noise_labels: None,
     };
-    ds.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    ds.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     Ok(ds)
 }
 

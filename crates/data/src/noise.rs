@@ -4,8 +4,7 @@
 //! sequences and measures (a) how many inserted items a denoiser keeps
 //! (under-denoising) and (b) how many raw items it drops (over-denoising).
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use ssdrec_testkit::Rng;
 use std::collections::HashSet;
 
 use crate::interaction::Dataset;
@@ -14,7 +13,7 @@ use crate::interaction::Dataset;
 /// than `short_len`, labelling every inserted position as noise. Existing
 /// labels (if any) are preserved for original positions.
 pub fn inject_unobserved(ds: &Dataset, short_len: usize, per_seq: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let mut sequences = Vec::with_capacity(ds.sequences.len());
     let mut labels = Vec::with_capacity(ds.sequences.len());
 
@@ -36,14 +35,14 @@ pub fn inject_unobserved(ds: &Dataset, short_len: usize, per_seq: usize, seed: u
             // seen (almost) everything.
             let mut item = None;
             for _ in 0..50 {
-                let cand = rng.gen_range(1..=ds.num_items);
+                let cand = rng.between(1, ds.num_items);
                 if !observed.contains(&cand) {
                     item = Some(cand);
                     break;
                 }
             }
             let Some(item) = item else { break };
-            let pos = rng.gen_range(0..=new_seq.len());
+            let pos = rng.between(0, new_seq.len());
             new_seq.insert(pos, item);
             new_lab.insert(pos, true);
         }
@@ -91,7 +90,10 @@ mod tests {
         let labels = out.noise_labels.as_ref().unwrap();
         for (i, (&it, &lab)) in out.sequences[0].iter().zip(&labels[0]).enumerate() {
             if lab {
-                assert!(!base.sequences[0].contains(&it), "pos {i}: inserted item was observed");
+                assert!(
+                    !base.sequences[0].contains(&it),
+                    "pos {i}: inserted item was observed"
+                );
             }
         }
         assert_eq!(labels[0].iter().filter(|&&b| b).count(), 2);

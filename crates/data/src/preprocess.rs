@@ -10,7 +10,11 @@ use crate::interaction::{Dataset, Example, Split};
 ///
 /// Item IDs are then re-indexed densely (`1..=num_items'`); the returned map
 /// gives `old ID → new ID`.
-pub fn k_core_filter(ds: &Dataset, min_seq_len: usize, min_item_freq: usize) -> (Dataset, HashMap<usize, usize>) {
+pub fn k_core_filter(
+    ds: &Dataset,
+    min_seq_len: usize,
+    min_item_freq: usize,
+) -> (Dataset, HashMap<usize, usize>) {
     let mut sequences = ds.sequences.clone();
     let mut labels = ds.noise_labels.clone();
 
@@ -26,7 +30,10 @@ pub fn k_core_filter(ds: &Dataset, min_seq_len: usize, min_item_freq: usize) -> 
 
         // Drop infrequent items from each sequence.
         for (u, seq) in sequences.iter_mut().enumerate() {
-            let keep: Vec<bool> = seq.iter().map(|it| freq.get(it).copied().unwrap_or(0) >= min_item_freq).collect();
+            let keep: Vec<bool> = seq
+                .iter()
+                .map(|it| freq.get(it).copied().unwrap_or(0) >= min_item_freq)
+                .collect();
             if keep.iter().any(|&k| !k) {
                 changed = true;
                 let mut new_seq = Vec::with_capacity(seq.len());

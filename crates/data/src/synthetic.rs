@@ -22,8 +22,7 @@
 //!   provide. This gives Fig. 1's over/under-denoising ratios an exact
 //!   footing.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use ssdrec_testkit::Rng;
 
 use crate::interaction::Dataset;
 
@@ -103,7 +102,13 @@ impl SyntheticConfig {
 
     /// All five paper profiles, in the paper's order.
     pub fn all_profiles() -> Vec<Self> {
-        vec![Self::beauty(), Self::sports(), Self::yelp(), Self::ml100k(), Self::ml1m()]
+        vec![
+            Self::beauty(),
+            Self::sports(),
+            Self::yelp(),
+            Self::ml100k(),
+            Self::ml1m(),
+        ]
     }
 
     /// Scale user/item counts by `f` (for quick tests or larger runs).
@@ -128,8 +133,11 @@ impl SyntheticConfig {
     /// Generate the dataset.
     pub fn generate(&self) -> Dataset {
         assert!(self.num_clusters >= 2, "need at least 2 clusters");
-        assert!(self.num_items >= self.num_clusters, "more clusters than items");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        assert!(
+            self.num_items >= self.num_clusters,
+            "more clusters than items"
+        );
+        let mut rng = Rng::seed(self.seed);
 
         // Assign items round-robin to clusters, then build Zipf popularity
         // weights within each cluster.
@@ -140,50 +148,42 @@ impl SyntheticConfig {
         let cluster_weights: Vec<Vec<f64>> = cluster_items
             .iter()
             .map(|items| {
-                (1..=items.len()).map(|r| 1.0 / (r as f64).powf(self.zipf_s)).collect()
+                (1..=items.len())
+                    .map(|r| 1.0 / (r as f64).powf(self.zipf_s))
+                    .collect()
             })
             .collect();
-
-        let sample_weighted = |rng: &mut StdRng, w: &[f64]| -> usize {
-            let total: f64 = w.iter().sum();
-            let mut r = rng.gen_range(0.0..total);
-            for (i, &wi) in w.iter().enumerate() {
-                if r < wi {
-                    return i;
-                }
-                r -= wi;
-            }
-            w.len() - 1
-        };
 
         let mut sequences = Vec::with_capacity(self.num_users);
         let mut labels = Vec::with_capacity(self.num_users);
         for u in 0..self.num_users {
             // Spread of lengths: uniform in [min_len, 2*avg_len - min_len],
             // so the mean is ~avg_len.
-            let hi = (2 * self.avg_len).saturating_sub(self.min_len).max(self.min_len + 1);
-            let len = rng.gen_range(self.min_len..=hi);
+            let hi = (2 * self.avg_len)
+                .saturating_sub(self.min_len)
+                .max(self.min_len + 1);
+            let len = rng.between(self.min_len, hi);
 
             let mut cluster = u % self.num_clusters; // user's home cluster
             let mut seq = Vec::with_capacity(len);
             let mut lab = Vec::with_capacity(len);
             for _ in 0..len {
-                if rng.gen_bool(self.noise_ratio) {
+                if rng.bernoulli(self.noise_ratio) {
                     // Uniform-random accidental interaction.
-                    seq.push(rng.gen_range(1..=self.num_items));
+                    seq.push(rng.between(1, self.num_items));
                     lab.push(true);
                     continue;
                 }
-                if !rng.gen_bool(self.stay_prob) {
+                if !rng.bernoulli(self.stay_prob) {
                     // Ring topology: mostly advance to the next cluster,
                     // occasionally jump back.
-                    cluster = if rng.gen_bool(0.8) {
+                    cluster = if rng.bernoulli(0.8) {
                         (cluster + 1) % self.num_clusters
                     } else {
                         (cluster + self.num_clusters - 1) % self.num_clusters
                     };
                 }
-                let idx = sample_weighted(&mut rng, &cluster_weights[cluster]);
+                let idx = rng.weighted_index_f64(&cluster_weights[cluster]);
                 seq.push(cluster_items[cluster][idx]);
                 lab.push(false);
             }
@@ -239,7 +239,10 @@ mod tests {
         let ds = SyntheticConfig::ml1m().with_noise_ratio(0.2).generate();
         let labels = ds.noise_labels.as_ref().unwrap();
         let total: usize = labels.iter().map(|l| l.len()).sum();
-        let noisy: usize = labels.iter().map(|l| l.iter().filter(|&&b| b).count()).sum();
+        let noisy: usize = labels
+            .iter()
+            .map(|l| l.iter().filter(|&&b| b).count())
+            .sum();
         let frac = noisy as f64 / total as f64;
         assert!((frac - 0.2).abs() < 0.03, "noise fraction {frac}");
     }
@@ -302,6 +305,9 @@ mod tests {
         // mirroring Table II.
         let dense = SyntheticConfig::ml100k().generate().sparsity();
         let sparse = SyntheticConfig::sports().generate().sparsity();
-        assert!(sparse > dense, "sports {sparse} should exceed ml100k {dense}");
+        assert!(
+            sparse > dense,
+            "sports {sparse} should exceed ml100k {dense}"
+        );
     }
 }

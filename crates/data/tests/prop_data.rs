@@ -1,104 +1,109 @@
-//! Property-based tests of the data pipeline invariants.
+//! Property-based tests of the data pipeline invariants, running on the
+//! in-workspace `ssdrec-testkit` property framework.
 
-use proptest::prelude::*;
+use ssdrec_testkit::{gens, property, Gen};
 
 use ssdrec_data::{
     inject_unobserved, k_core_filter, leave_one_out, make_batches, Dataset, Example,
 };
 
-fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    (2usize..8, 4usize..20).prop_flat_map(|(users, items)| {
-        prop::collection::vec(prop::collection::vec(1usize..=items, 0..15), users).prop_map(
-            move |sequences| Dataset {
-                name: "prop".into(),
-                num_users: users,
-                num_items: items,
-                sequences,
-                noise_labels: None,
-            },
-        )
+/// Random small dataset: 2–7 users, 4–19 items, sequences of length 0–14.
+/// Built directly from the case RNG (closure generators do not shrink; the
+/// reported counter-example is the drawn dataset).
+fn arb_dataset() -> Gen<Dataset> {
+    Gen::from_fn(|rng| {
+        let users = rng.between(2, 7);
+        let items = rng.between(4, 19);
+        let sequences = (0..users)
+            .map(|_| {
+                let len = rng.between(0, 14);
+                (0..len).map(|_| rng.between(1, items)).collect()
+            })
+            .collect();
+        Dataset {
+            name: "prop".into(),
+            num_users: users,
+            num_items: items,
+            sequences,
+            noise_labels: None,
+        }
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+property! {
+    cases = 64;
 
     /// k-core filtering is idempotent and never invents interactions.
-    #[test]
     fn k_core_idempotent(ds in arb_dataset()) {
         let (once, _) = k_core_filter(&ds, 3, 2);
         let (twice, _) = k_core_filter(&once, 3, 2);
-        prop_assert_eq!(&once.sequences, &twice.sequences);
-        prop_assert!(once.num_actions() <= ds.num_actions());
-        prop_assert!(once.validate().is_ok());
+        assert_eq!(&once.sequences, &twice.sequences);
+        assert!(once.num_actions() <= ds.num_actions());
+        assert!(once.validate().is_ok());
     }
 
     /// After filtering, every surviving item meets the frequency floor and
     /// every nonempty sequence meets the length floor.
-    #[test]
     fn k_core_postconditions(ds in arb_dataset()) {
         let (out, _) = k_core_filter(&ds, 3, 2);
         let freq = out.item_frequencies();
         for (i, &f) in freq.iter().enumerate().skip(1) {
-            prop_assert!(f == 0 || f >= 2, "item {i} freq {f}");
+            assert!(f == 0 || f >= 2, "item {i} freq {f}");
         }
         for seq in &out.sequences {
-            prop_assert!(seq.is_empty() || seq.len() >= 3);
+            assert!(seq.is_empty() || seq.len() >= 3);
         }
     }
 
     /// Leave-one-out: targets and prefixes are consistent with the source
     /// sequence, and valid/test counts match eligible users.
-    #[test]
     fn leave_one_out_consistency(ds in arb_dataset()) {
         let split = leave_one_out(&ds, 3, 10);
-        prop_assert_eq!(split.valid.len(), split.test.len());
+        assert_eq!(split.valid.len(), split.test.len());
         for ex in &split.test {
             let seq = &ds.sequences[ex.user];
-            prop_assert_eq!(ex.target, *seq.last().unwrap());
-            prop_assert_eq!(&ex.seq[..], &seq[..seq.len() - 1]);
+            assert_eq!(ex.target, *seq.last().unwrap());
+            assert_eq!(&ex.seq[..], &seq[..seq.len() - 1]);
         }
         for ex in &split.train {
             let seq = &ds.sequences[ex.user];
             let t = ex.seq.len();
-            prop_assert_eq!(ex.target, seq[t]);
+            assert_eq!(ex.target, seq[t]);
             // Training targets never leak the valid/test items.
-            prop_assert!(t + 2 < seq.len());
+            assert!(t + 2 < seq.len());
         }
     }
 
     /// Batching partitions the examples: every example appears exactly once
     /// and batches are length-homogeneous.
-    #[test]
     fn batching_is_a_partition(
-        lens in prop::collection::vec(1usize..6, 1..30),
-        bs in 1usize..8,
-        seed in 0u64..100,
+        lens in gens::vecs(gens::usizes(1, 6), 1, 29),
+        bs in gens::usizes(1, 8),
+        seed in gens::usizes(0, 100),
     ) {
         let examples: Vec<Example> = lens
             .iter()
             .enumerate()
             .map(|(i, &l)| Example { user: i, seq: vec![1; l], target: 2, noise: None })
             .collect();
-        let batches = make_batches(&examples, bs, seed);
+        let batches = make_batches(&examples, bs, seed as u64);
         let total: usize = batches.iter().map(|b| b.len()).sum();
-        prop_assert_eq!(total, examples.len());
+        assert_eq!(total, examples.len());
         let mut seen = vec![false; examples.len()];
         for b in &batches {
-            prop_assert!(b.len() <= bs);
+            assert!(b.len() <= bs);
             for i in 0..b.len() {
-                prop_assert_eq!(b.seq(i).len(), b.seq_len);
-                prop_assert!(!seen[b.users[i]], "user {} duplicated", b.users[i]);
+                assert_eq!(b.seq(i).len(), b.seq_len);
+                assert!(!seen[b.users[i]], "user {} duplicated", b.users[i]);
                 seen[b.users[i]] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
     }
 
     /// Noise injection only ever adds labelled positions, preserving the
     /// original subsequence in order.
-    #[test]
-    fn injection_preserves_original_subsequence(ds in arb_dataset(), per in 1usize..4) {
+    fn injection_preserves_original_subsequence(ds in arb_dataset(), per in gens::usizes(1, 4)) {
         let out = inject_unobserved(&ds, 20, per, 3);
         let labels = out.noise_labels.as_ref().unwrap();
         for (u, seq) in out.sequences.iter().enumerate() {
@@ -108,7 +113,7 @@ proptest! {
                 .filter(|(_, &l)| !l)
                 .map(|(&i, _)| i)
                 .collect();
-            prop_assert_eq!(&originals, &ds.sequences[u]);
+            assert_eq!(&originals, &ds.sequences[u]);
         }
     }
 }

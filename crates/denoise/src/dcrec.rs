@@ -33,7 +33,13 @@ pub struct DcRec {
 impl DcRec {
     /// Build the model. `item_freq[i]` is the training frequency of item `i`
     /// (index 0 = pad), from which conformity weights are derived.
-    pub fn new(num_items: usize, dim: usize, max_len: usize, item_freq: &[usize], seed: u64) -> Self {
+    pub fn new(
+        num_items: usize,
+        dim: usize,
+        max_len: usize,
+        item_freq: &[usize],
+        seed: u64,
+    ) -> Self {
         let mut store = ParamStore::new();
         let mut rng = Rng::seed(seed);
         let item_emb = Embedding::new(&mut store, "item", num_items + 1, dim, &mut rng);
@@ -41,10 +47,26 @@ impl DcRec {
         let max_f = item_freq.iter().copied().max().unwrap_or(1).max(1) as f32;
         let mut conformity: Vec<f32> = item_freq.iter().map(|&f| f as f32 / max_f).collect();
         conformity.resize(num_items + 1, 0.0);
-        DcRec { store, item_emb, encoder, dim, num_items, conformity, beta: 0.2, cl_tau: 0.5, dropout: 0.2 }
+        DcRec {
+            store,
+            item_emb,
+            encoder,
+            dim,
+            num_items,
+            conformity,
+            beta: 0.2,
+            cl_tau: 0.5,
+            dropout: 0.2,
+        }
     }
 
-    fn encode_view(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: Option<&mut Rng>) -> Var {
+    fn encode_view(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        rng: Option<&mut Rng>,
+    ) -> Var {
         let b = batch.len();
         let t = batch.seq_len;
         let mut h = self.item_emb.lookup_seq(g, bind, &batch.items, b, t);
@@ -77,7 +99,7 @@ impl DcRec {
         let logp = g.log_softmax_last(sim);
         let diag: Vec<usize> = (0..b).collect();
         let pos = g.pick_per_row(logp, &diag); // B
-        // Debias: weight each example by 1 − conformity(target).
+                                               // Debias: weight each example by 1 − conformity(target).
         let w: Vec<f32> = targets.iter().map(|&t| 1.0 - self.conformity[t]).collect();
         let wv = g.constant(Tensor::new(w, &[b]));
         let weighted = g.mul(pos, wv);
@@ -179,7 +201,13 @@ mod tests {
     #[test]
     fn single_example_batch_skips_contrast() {
         let m = DcRec::new(10, 8, 20, &freq(), 2);
-        let batch = Batch { users: vec![0], items: vec![1, 2, 3], seq_len: 3, targets: vec![4], noise: None };
+        let batch = Batch {
+            users: vec![0],
+            items: vec![1, 2, 3],
+            seq_len: 3,
+            targets: vec![4],
+            noise: None,
+        };
         let mut g = Graph::new();
         let bind = m.store.bind_all(&mut g);
         let mut rng = Rng::seed(3);

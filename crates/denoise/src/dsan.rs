@@ -41,7 +41,18 @@ impl Dsan {
         let wq = Linear::new_no_bias(&mut store, "dsan.wq", dim, dim, &mut rng);
         let wk = Linear::new_no_bias(&mut store, "dsan.wk", dim, dim, &mut rng);
         let out = Linear::new(&mut store, "dsan.out", 2 * dim, dim, &mut rng);
-        Dsan { store, item_emb, virtual_target, wq, wk, out, dim, num_items, gamma: 0.5, dropout: 0.1 }
+        Dsan {
+            store,
+            item_emb,
+            virtual_target,
+            wq,
+            wk,
+            out,
+            dim,
+            num_items,
+            gamma: 0.5,
+            dropout: 0.1,
+        }
     }
 
     /// Sparse attention weights of the virtual target over the sequence:
@@ -109,7 +120,9 @@ impl Dsan {
         };
         let mut g = Graph::new();
         let bind = self.store.bind_all(&mut g);
-        let h = self.item_emb.lookup_seq(&mut g, &bind, &batch.items, 1, batch.seq_len);
+        let h = self
+            .item_emb
+            .lookup_seq(&mut g, &bind, &batch.items, 1, batch.seq_len);
         let attn = self.sparse_attention(&mut g, &bind, h);
         g.value(attn).data().iter().map(|&w| w > 0.0).collect()
     }
@@ -156,7 +169,9 @@ impl crate::Denoiser for Dsan {
         };
         let mut g = Graph::new();
         let bind = self.store.bind_all(&mut g);
-        let h = self.item_emb.lookup_seq(&mut g, &bind, &batch.items, 1, batch.seq_len);
+        let h = self
+            .item_emb
+            .lookup_seq(&mut g, &bind, &batch.items, 1, batch.seq_len);
         let attn = self.sparse_attention(&mut g, &bind, h);
         g.value(attn).data().to_vec()
     }

@@ -49,7 +49,15 @@ impl FmlpRec {
                 ln2: LayerNorm::new(&mut store, &format!("fmlp.{i}.ln2"), dim),
             })
             .collect();
-        FmlpRec { store, item_emb, layers, max_len, dim, num_items, dropout: 0.1 }
+        FmlpRec {
+            store,
+            item_emb,
+            layers,
+            max_len,
+            dim,
+            num_items,
+            dropout: 0.1,
+        }
     }
 
     /// Left-pad a batch's IDs to `max_len` (truncating from the front if

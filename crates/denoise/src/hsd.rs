@@ -242,7 +242,9 @@ impl Hsd {
             }
             let u = self.user_emb.lookup(g, bind, &batch.users);
             let probs = self.core.keep_probs(g, bind, h, u);
-            let cal = self.core.calibrate(g, probs, crate::RELATIVE_KEEP_BETA, 8.0);
+            let cal = self
+                .core
+                .calibrate(g, probs, crate::RELATIVE_KEEP_BETA, 8.0);
             let mask = self.core.sample_mask(g, rng, cal, self.tau);
             h = self.core.apply_mask(g, h, mask);
         }
@@ -276,7 +278,9 @@ impl RecModel for Hsd {
         }
         let u = self.user_emb.lookup(g, bind, &batch.users);
         let probs = self.core.keep_probs(g, bind, h, u);
-        let cal = self.core.calibrate(g, probs, crate::RELATIVE_KEEP_BETA, 8.0);
+        let cal = self
+            .core
+            .calibrate(g, probs, crate::RELATIVE_KEEP_BETA, 8.0);
         let mask = self.core.sample_mask(g, rng, cal, self.tau);
         let h_masked = self.core.apply_mask(g, h, mask);
         let h_s = self.backbone.encode(g, bind, h_masked);
@@ -401,7 +405,11 @@ mod tests {
         let cal = core.calibrate(&mut g, p, crate::RELATIVE_KEEP_BETA, 8.0);
         let rule = crate::relative_keep(&raw, crate::RELATIVE_KEEP_BETA);
         for (cv, keep) in g.value(cal).data().iter().zip(rule) {
-            assert_eq!(*cv > 0.5, keep, "calibrated {cv} disagrees with rule {keep}");
+            assert_eq!(
+                *cv > 0.5,
+                keep,
+                "calibrated {cv} disagrees with rule {keep}"
+            );
         }
     }
 

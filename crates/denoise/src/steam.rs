@@ -55,7 +55,14 @@ impl Steam {
 
     /// Encode IDs into per-position states `B×T×d` *including positional
     /// information* (the corrector reads contextualised states).
-    fn contextual_states(&self, g: &mut Graph, bind: &Binding, ids: &[usize], b: usize, t: usize) -> (Var, Var) {
+    fn contextual_states(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        ids: &[usize],
+        b: usize,
+        t: usize,
+    ) -> (Var, Var) {
         let h = self.item_emb.lookup_seq(g, bind, ids, b, t);
         // Reuse the encoder's transformer stack per position by encoding the
         // whole sequence and reading per-position states: Bert4RecEncoder
@@ -186,7 +193,11 @@ impl crate::Denoiser for Steam {
         let (_h, ctx) = self.contextual_states(&mut g, &bind, seq, 1, seq.len());
         let det = self.detect_logits(&mut g, &bind, ctx);
         // Keep score = 1 − σ(corruption logit).
-        g.value(det).data().iter().map(|&l| 1.0 - 1.0 / (1.0 + (-l).exp())).collect()
+        g.value(det)
+            .data()
+            .iter()
+            .map(|&l| 1.0 - 1.0 / (1.0 + (-l).exp()))
+            .collect()
     }
 
     fn denoiser_dim(&self) -> usize {

@@ -1,0 +1,86 @@
+//! Property-based tests of the shared denoising machinery (the sixth
+//! property suite), running on the in-workspace `ssdrec-testkit` framework.
+
+use ssdrec_testkit::{gens, property};
+
+use ssdrec_denoise::{relative_keep, Denoiser, FmlpRec, RELATIVE_KEEP_BETA};
+
+property! {
+    cases = 64;
+
+    /// One keep decision per position, and the empty sequence maps to the
+    /// empty decision vector.
+    fn relative_keep_preserves_length(scores in gens::vecs(gens::f32s(0.0, 1.0), 0, 24)) {
+        let kept = relative_keep(&scores, RELATIVE_KEEP_BETA);
+        assert_eq!(kept.len(), scores.len());
+    }
+
+    /// The decision is invariant to positive rescaling of the scores —
+    /// the property that makes the rule robust to sigmoid-product
+    /// calibration drift.
+    fn relative_keep_scale_invariant(
+        scores in gens::vecs(gens::f32s(0.01, 1.0), 1, 19),
+        scale in gens::f32s(0.05, 20.0),
+    ) {
+        let scaled: Vec<f32> = scores.iter().map(|s| s * scale).collect();
+        assert_eq!(
+            relative_keep(&scores, RELATIVE_KEEP_BETA),
+            relative_keep(&scaled, RELATIVE_KEEP_BETA),
+        );
+    }
+
+    /// Uniform scores are all kept for any beta ≤ 1: no position sits below
+    /// the sequence's own mean.
+    fn relative_keep_uniform_keeps_all(
+        s in gens::f32s(0.01, 1.0),
+        len in gens::usizes(1, 20),
+        beta in gens::f32s(0.0, 1.0),
+    ) {
+        let kept = relative_keep(&vec![s; len], beta);
+        assert!(kept.iter().all(|&k| k));
+    }
+
+    /// Lowering beta only ever keeps more: the kept set is monotone
+    /// (anti-monotone in the threshold).
+    fn relative_keep_monotone_in_beta(
+        scores in gens::vecs(gens::f32s(0.0, 1.0), 1, 19),
+        b_lo in gens::f32s(0.0, 0.5),
+        b_hi in gens::f32s(0.5, 1.0),
+    ) {
+        let loose = relative_keep(&scores, b_lo);
+        let strict = relative_keep(&scores, b_hi);
+        for (l, s) in loose.iter().zip(&strict) {
+            assert!(*l || !*s, "kept under strict beta but dropped under loose");
+        }
+    }
+
+    /// The best-scored position always survives for beta ≤ 1 (max ≥ mean ≥
+    /// beta·mean on non-negative scores).
+    fn relative_keep_never_drops_argmax(
+        scores in gens::vecs(gens::f32s(0.0, 1.0), 1, 19),
+        beta in gens::f32s(0.0, 1.0),
+    ) {
+        let kept = relative_keep(&scores, beta);
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(kept[argmax]);
+    }
+
+    /// Implicit denoisers (FMLP-Rec) keep every position by construction and
+    /// report unit keep scores — the contract the OUP measurement relies on.
+    fn implicit_denoiser_keeps_everything(
+        seq in gens::vecs(gens::usizes(1, 12), 0, 9),
+        user in gens::usizes(0, 4),
+        seed in gens::u64s(),
+    ) {
+        let model = FmlpRec::new(12, 4, 10, 1, seed);
+        let kept = model.keep_decisions(&seq, user);
+        assert_eq!(kept.len(), seq.len());
+        assert!(kept.iter().all(|&k| k));
+        assert!(model.keep_scores(&seq, user).iter().all(|&s| s == 1.0));
+    }
+}

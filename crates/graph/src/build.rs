@@ -133,7 +133,9 @@ fn popular_flags(freq: &[usize], fewshot_ratio: f64) -> Vec<bool> {
     nonzero.sort_unstable();
     let idx = ((nonzero.len() as f64 * fewshot_ratio) as usize).min(nonzero.len() - 1);
     let threshold = nonzero[idx];
-    freq.iter().map(|&f| f > 0 && f >= threshold.max(1)).collect()
+    freq.iter()
+        .map(|&f| f > 0 && f >= threshold.max(1))
+        .collect()
 }
 
 /// Build the full multi-relation graph from a dataset.
@@ -250,7 +252,10 @@ pub fn build_graph(ds: &Dataset, cfg: &GraphConfig) -> MultiRelationGraph {
     for item_users in by_item.iter() {
         for ai in 0..item_users.len() {
             for bi in (ai + 1)..item_users.len() {
-                let (a, b) = (item_users[ai].min(item_users[bi]), item_users[ai].max(item_users[bi]));
+                let (a, b) = (
+                    item_users[ai].min(item_users[bi]),
+                    item_users[ai].max(item_users[bi]),
+                );
                 sim.entry((a, b)).or_insert(0.0);
             }
         }
@@ -325,12 +330,7 @@ mod tests {
             name: "toy".into(),
             num_users: 4,
             num_items: 6,
-            sequences: vec![
-                vec![1, 2, 3],
-                vec![1, 2, 4],
-                vec![5, 2, 3],
-                vec![6, 1, 2],
-            ],
+            sequences: vec![vec![1, 2, 3], vec![1, 2, 4], vec![5, 2, 3], vec![6, 1, 2]],
             noise_labels: None,
         }
     }
@@ -398,7 +398,10 @@ mod tests {
         let g = build_graph(&ds, &GraphConfig::default());
         for u in 0..g.num_users {
             for &(v, _) in g.dissimilar.neighbors(u) {
-                assert!(g.similar.weight(u, v).is_none(), "({u},{v}) both similar and dissimilar");
+                assert!(
+                    g.similar.weight(u, v).is_none(),
+                    "({u},{v}) both similar and dissimilar"
+                );
             }
         }
     }
@@ -417,7 +420,10 @@ mod tests {
     #[test]
     fn neighbor_cap_enforced() {
         let ds = SyntheticConfig::ml100k().scaled(0.5).generate();
-        let cfg = GraphConfig { max_neighbors: 5, ..GraphConfig::default() };
+        let cfg = GraphConfig {
+            max_neighbors: 5,
+            ..GraphConfig::default()
+        };
         let g = build_graph(&ds, &cfg);
         for i in 0..=g.num_items {
             assert!(g.trans_out.degree(i) <= 5);
@@ -472,6 +478,9 @@ mod tests {
         let g = build_graph(&ds, &GraphConfig::default());
         let popular = g.item_popular.iter().filter(|&&p| p).count();
         let total = g.num_items;
-        assert!(popular > 0 && popular < total / 2, "popular {popular}/{total}");
+        assert!(
+            popular > 0 && popular < total / 2,
+            "popular {popular}/{total}"
+        );
     }
 }

@@ -74,7 +74,10 @@ impl Csr {
 
     /// Look up the weight of edge `i → j`, if present.
     pub fn weight(&self, i: usize, j: usize) -> Option<f32> {
-        self.neighbors(i).iter().find(|&&(n, _)| n == j).map(|&(_, w)| w)
+        self.neighbors(i)
+            .iter()
+            .find(|&&(n, _)| n == j)
+            .map(|&(_, w)| w)
     }
 }
 

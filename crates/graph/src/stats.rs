@@ -35,7 +35,11 @@ pub fn summarize(csr: &Csr, skip_pad: bool) -> DegreeSummary {
     DegreeSummary {
         edges,
         connected_nodes: connected,
-        mean_degree: if connected > 0 { edges as f64 / connected as f64 } else { 0.0 },
+        mean_degree: if connected > 0 {
+            edges as f64 / connected as f64
+        } else {
+            0.0
+        },
         max_degree,
     }
 }
@@ -110,7 +114,12 @@ mod tests {
         let report = GraphReport::new(&g);
         assert_eq!(report.relations.len(), 7);
         // Interactional relations always exist for nonempty data.
-        let ui = report.relations.iter().find(|(n, _)| *n == "user→item").unwrap().1;
+        let ui = report
+            .relations
+            .iter()
+            .find(|(n, _)| *n == "user→item")
+            .unwrap()
+            .1;
         assert!(ui.edges > 0);
         let table = report.to_table();
         assert!(table.contains("transitional"));
@@ -121,6 +130,14 @@ mod tests {
     fn empty_relation_summarises_cleanly() {
         let csr = Csr::from_lists(vec![vec![], vec![]]);
         let s = summarize(&csr, false);
-        assert_eq!(s, DegreeSummary { edges: 0, connected_nodes: 0, mean_degree: 0.0, max_degree: 0 });
+        assert_eq!(
+            s,
+            DegreeSummary {
+                edges: 0,
+                connected_nodes: 0,
+                mean_degree: 0.0,
+                max_degree: 0
+            }
+        );
     }
 }

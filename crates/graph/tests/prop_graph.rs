@@ -1,34 +1,41 @@
-//! Property-based tests of multi-relation graph invariants.
+//! Property-based tests of multi-relation graph invariants, running on the
+//! in-workspace `ssdrec-testkit` property framework.
 
-use proptest::prelude::*;
+use ssdrec_testkit::{gens, property, Gen};
 
 use ssdrec_data::Dataset;
 use ssdrec_graph::{build_graph, GraphConfig};
 
-fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    (3usize..8, 5usize..16).prop_flat_map(|(users, items)| {
-        prop::collection::vec(prop::collection::vec(1usize..=items, 2..10), users).prop_map(
-            move |sequences| Dataset {
-                name: "prop".into(),
-                num_users: users,
-                num_items: items,
-                sequences,
-                noise_labels: None,
-            },
-        )
+/// Random small dataset: 3–7 users, 5–15 items, sequences of length 2–9.
+fn arb_dataset() -> Gen<Dataset> {
+    Gen::from_fn(|rng| {
+        let users = rng.between(3, 7);
+        let items = rng.between(5, 15);
+        let sequences = (0..users)
+            .map(|_| {
+                let len = rng.between(2, 9);
+                (0..len).map(|_| rng.between(1, items)).collect()
+            })
+            .collect();
+        Dataset {
+            name: "prop".into(),
+            num_users: users,
+            num_items: items,
+            sequences,
+            noise_labels: None,
+        }
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+property! {
+    cases = 64;
 
     /// Undirected relations are symmetric in edge existence.
-    #[test]
     fn undirected_relations_symmetric(ds in arb_dataset()) {
         let g = build_graph(&ds, &GraphConfig::default());
         for i in 1..=g.num_items {
             for &(j, _) in g.incompatible.neighbors(i) {
-                prop_assert!(
+                assert!(
                     g.incompatible.weight(j, i).is_some(),
                     "incompatible ({i},{j}) not symmetric"
                 );
@@ -36,26 +43,24 @@ proptest! {
         }
         for u in 0..g.num_users {
             for &(v, _) in g.dissimilar.neighbors(u) {
-                prop_assert!(g.dissimilar.weight(v, u).is_some());
+                assert!(g.dissimilar.weight(v, u).is_some());
             }
         }
     }
 
     /// Incompatible and transitional relations are disjoint by definition.
-    #[test]
     fn incompatible_disjoint_from_transitional(ds in arb_dataset()) {
         let g = build_graph(&ds, &GraphConfig::default());
         for i in 1..=g.num_items {
             for &(j, _) in g.incompatible.neighbors(i) {
-                prop_assert!(g.trans_out.weight(i, j).is_none());
-                prop_assert!(g.trans_out.weight(j, i).is_none());
+                assert!(g.trans_out.weight(i, j).is_none());
+                assert!(g.trans_out.weight(j, i).is_none());
             }
         }
     }
 
     /// Every relation's rows are normalised (sum to 1) or empty, and all
     /// weights are positive.
-    #[test]
     fn rows_normalised_and_positive(ds in arb_dataset()) {
         let g = build_graph(&ds, &GraphConfig::default());
         let check = |csr: &ssdrec_graph::Csr| {
@@ -73,14 +78,13 @@ proptest! {
             }
             Ok(())
         };
-        prop_assert!(check(&g.trans_out).is_ok());
-        prop_assert!(check(&g.trans_in).is_ok());
-        prop_assert!(check(&g.user_item).is_ok());
-        prop_assert!(check(&g.similar).is_ok());
+        assert!(check(&g.trans_out).is_ok());
+        assert!(check(&g.trans_in).is_ok());
+        assert!(check(&g.user_item).is_ok());
+        assert!(check(&g.similar).is_ok());
     }
 
     /// trans_in is the transpose of trans_out in edge existence.
-    #[test]
     fn trans_in_is_transpose(ds in arb_dataset()) {
         let g = build_graph(&ds, &GraphConfig::default());
         let cap_hit = |csr: &ssdrec_graph::Csr, i: usize|
@@ -89,7 +93,7 @@ proptest! {
             for &(j, _) in g.trans_out.neighbors(i) {
                 // Top-K pruning can drop the mirror edge only if j's in-list
                 // is full.
-                prop_assert!(
+                assert!(
                     g.trans_in.weight(j, i).is_some() || cap_hit(&g.trans_in, j),
                     "missing mirror {j}←{i}"
                 );
@@ -98,23 +102,21 @@ proptest! {
     }
 
     /// Coherence of any sequence over the graph is finite and non-negative.
-    #[test]
-    fn coherence_well_defined(ds in arb_dataset(), w in 1usize..5) {
+    fn coherence_well_defined(ds in arb_dataset(), w in gens::usizes(1, 5)) {
         let g = build_graph(&ds, &GraphConfig::default());
         for seq in &ds.sequences {
             for c in g.sequence_coherence(seq, w) {
-                prop_assert!(c.is_finite() && c >= 0.0);
+                assert!(c.is_finite() && c >= 0.0);
             }
         }
     }
 
     /// The pad node (0) is always isolated in item relations.
-    #[test]
     fn pad_isolated(ds in arb_dataset()) {
         let g = build_graph(&ds, &GraphConfig::default());
-        prop_assert_eq!(g.trans_out.degree(0), 0);
-        prop_assert_eq!(g.trans_in.degree(0), 0);
-        prop_assert_eq!(g.incompatible.degree(0), 0);
-        prop_assert_eq!(g.item_user.degree(0), 0);
+        assert_eq!(g.trans_out.degree(0), 0);
+        assert_eq!(g.trans_in.degree(0), 0);
+        assert_eq!(g.incompatible.degree(0), 0);
+        assert_eq!(g.item_user.degree(0), 0);
     }
 }

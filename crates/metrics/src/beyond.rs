@@ -18,7 +18,12 @@ impl RecListAccumulator {
     /// A new accumulator for a catalogue of `num_items` items
     /// (IDs `1..=num_items`).
     pub fn new(num_items: usize) -> Self {
-        RecListAccumulator { num_items, counts: vec![0; num_items + 1], lists: 0, list_len_total: 0 }
+        RecListAccumulator {
+            num_items,
+            counts: vec![0; num_items + 1],
+            lists: 0,
+            list_len_total: 0,
+        }
     }
 
     /// Record one served top-K list.
@@ -28,7 +33,10 @@ impl RecListAccumulator {
     /// serving the pad item is always a bug).
     pub fn push(&mut self, items: &[usize]) {
         for &it in items {
-            assert!(it >= 1 && it <= self.num_items, "recommended item {it} out of catalogue");
+            assert!(
+                it >= 1 && it <= self.num_items,
+                "recommended item {it} out of catalogue"
+            );
             self.counts[it] += 1;
         }
         self.lists += 1;
@@ -68,14 +76,21 @@ impl RecListAccumulator {
         }
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = xs.len() as f64;
-        let weighted: f64 = xs.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+        let weighted: f64 = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x)
+            .sum();
         (2.0 * weighted / (n * total)) - (n + 1.0) / n
     }
 
     /// Mean popularity of recommended items, where `popularity[i]` is item
     /// `i`'s training frequency — higher means stronger popularity bias.
     pub fn popularity_bias(&self, popularity: &[usize]) -> f64 {
-        assert!(popularity.len() > self.num_items, "popularity table too short");
+        assert!(
+            popularity.len() > self.num_items,
+            "popularity table too short"
+        );
         let mut total = 0.0f64;
         let mut n = 0usize;
         for (i, &c) in self.counts.iter().enumerate().skip(1) {

@@ -38,7 +38,10 @@ impl LengthBuckets {
     }
 
     fn bucket_of(&self, len: usize) -> usize {
-        self.edges.iter().rposition(|&e| len >= e).unwrap_or_default()
+        self.edges
+            .iter()
+            .rposition(|&e| len >= e)
+            .unwrap_or_default()
     }
 
     /// Record one example's rank with its history length.

@@ -74,7 +74,13 @@ impl RankingAccumulator {
         let sum: f64 = self
             .ranks
             .iter()
-            .map(|&r| if r <= k { 1.0 / ((r as f64) + 1.0).log2() } else { 0.0 })
+            .map(|&r| {
+                if r <= k {
+                    1.0 / ((r as f64) + 1.0).log2()
+                } else {
+                    0.0
+                }
+            })
             .sum();
         sum / self.ranks.len() as f64
     }
@@ -99,7 +105,10 @@ impl RankingAccumulator {
 
     /// Per-example binary hit indicators @ K (for significance testing).
     pub fn hit_indicators(&self, k: usize) -> Vec<f64> {
-        self.ranks.iter().map(|&r| if r <= k { 1.0 } else { 0.0 }).collect()
+        self.ranks
+            .iter()
+            .map(|&r| if r <= k { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// The paper's standard report: HR@{5,10,20}, NDCG@{5,10,20}, MRR@20.
@@ -240,7 +249,15 @@ mod tests {
 
     #[test]
     fn improvement_is_percentage() {
-        let base = MetricReport { hr5: 0.1, hr10: 0.2, hr20: 0.4, ndcg5: 0.05, ndcg10: 0.1, ndcg20: 0.2, mrr20: 0.1 };
+        let base = MetricReport {
+            hr5: 0.1,
+            hr10: 0.2,
+            hr20: 0.4,
+            ndcg5: 0.05,
+            ndcg10: 0.1,
+            ndcg20: 0.2,
+            mrr20: 0.1,
+        };
         let better = MetricReport {
             hr5: 0.2,
             hr10: 0.4,

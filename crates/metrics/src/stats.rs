@@ -114,7 +114,10 @@ pub fn t_two_sided_p(t: f64, df: f64) -> f64 {
 /// # Panics
 /// Panics if either sample has fewer than two observations.
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTest {
-    assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 observations per sample");
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "need ≥ 2 observations per sample"
+    );
     let (ma, va) = mean_var(a);
     let (mb, vb) = mean_var(b);
     let na = a.len() as f64;
@@ -123,11 +126,19 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> TTest {
     if se2 <= 0.0 {
         // Identical constant samples: no evidence of difference.
         let p = if (ma - mb).abs() < 1e-15 { 1.0 } else { 0.0 };
-        return TTest { t: if p == 1.0 { 0.0 } else { f64::INFINITY }, df: na + nb - 2.0, p };
+        return TTest {
+            t: if p == 1.0 { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            p,
+        };
     }
     let t = (ma - mb) / se2.sqrt();
     let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
-    TTest { t, df, p: t_two_sided_p(t, df) }
+    TTest {
+        t,
+        df,
+        p: t_two_sided_p(t, df),
+    }
 }
 
 #[cfg(test)]

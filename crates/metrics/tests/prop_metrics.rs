@@ -1,55 +1,53 @@
-//! Property-based tests of the evaluation metrics.
+//! Property-based tests of the evaluation metrics, running on the
+//! in-workspace `ssdrec-testkit` property framework.
 
-use proptest::prelude::*;
+use ssdrec_testkit::{gens, property};
 
 use ssdrec_metrics::{full_rank, t_two_sided_p, welch_t_test, OupAccumulator, RankingAccumulator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+property! {
+    cases = 64;
 
     /// The rank of any target lies in [1, catalogue size].
-    #[test]
     fn rank_bounds(
-        scores in prop::collection::vec(-5.0f32..5.0, 5..40),
-        tpick in 1usize..4,
+        scores in gens::vecs(gens::f32s(-5.0, 5.0), 5, 39),
+        tpick in gens::usizes(1, 4),
     ) {
         let target = tpick.min(scores.len() - 1).max(1);
         let r = full_rank(&scores, target);
-        prop_assert!(r >= 1 && r < scores.len());
+        assert!(r >= 1 && r < scores.len());
     }
 
     /// Raising the target's score never worsens its rank.
-    #[test]
     fn rank_monotone_in_score(
-        mut scores in prop::collection::vec(-5.0f32..5.0, 6..20),
-        boost in 0.1f32..5.0,
+        scores in gens::vecs(gens::f32s(-5.0, 5.0), 6, 19),
+        boost in gens::f32s(0.1, 5.0),
     ) {
+        let mut scores = scores;
         let target = 2usize;
         let before = full_rank(&scores, target);
         scores[target] += boost;
         let after = full_rank(&scores, target);
-        prop_assert!(after <= before);
+        assert!(after <= before);
     }
 
     /// HR is monotone in K; HR ≥ NDCG ≥ MRR at equal K; all in [0,1].
-    #[test]
-    fn metric_ordering(ranks in prop::collection::vec(1usize..200, 1..50)) {
+    fn metric_ordering(ranks in gens::vecs(gens::usizes(1, 200), 1, 49)) {
         let mut acc = RankingAccumulator::new();
         for r in ranks {
             acc.push_rank(r);
         }
         for k in [5usize, 10, 20] {
-            prop_assert!((0.0..=1.0).contains(&acc.hr(k)));
-            prop_assert!(acc.ndcg(k) <= acc.hr(k) + 1e-12);
-            prop_assert!(acc.mrr(k) <= acc.ndcg(k) + 1e-12);
+            assert!((0.0..=1.0).contains(&acc.hr(k)));
+            assert!(acc.ndcg(k) <= acc.hr(k) + 1e-12);
+            assert!(acc.mrr(k) <= acc.ndcg(k) + 1e-12);
         }
-        prop_assert!(acc.hr(5) <= acc.hr(10) && acc.hr(10) <= acc.hr(20));
+        assert!(acc.hr(5) <= acc.hr(10) && acc.hr(10) <= acc.hr(20));
     }
 
     /// OUP ratios are proper fractions and complements behave: a denoiser
     /// keeping everything has under=1/over=0; dropping everything inverts.
-    #[test]
-    fn oup_extremes(labels in prop::collection::vec(any::<bool>(), 1..40)) {
+    fn oup_extremes(labels in gens::vecs(gens::bools(), 1, 39)) {
         let keep_all = vec![true; labels.len()];
         let drop_all = vec![false; labels.len()];
         let has_noise = labels.iter().any(|&l| l);
@@ -58,32 +56,30 @@ proptest! {
         let mut a = OupAccumulator::new();
         a.push(&labels, &keep_all);
         if has_noise {
-            prop_assert_eq!(a.under_denoising_ratio(), 1.0);
+            assert_eq!(a.under_denoising_ratio(), 1.0);
         }
-        prop_assert_eq!(a.over_denoising_ratio(), 0.0);
+        assert_eq!(a.over_denoising_ratio(), 0.0);
 
         let mut b = OupAccumulator::new();
         b.push(&labels, &drop_all);
-        prop_assert_eq!(b.under_denoising_ratio(), 0.0);
+        assert_eq!(b.under_denoising_ratio(), 0.0);
         if has_clean {
-            prop_assert_eq!(b.over_denoising_ratio(), 1.0);
+            assert_eq!(b.over_denoising_ratio(), 1.0);
         }
     }
 
     /// p-values are valid probabilities and t=0 is never significant.
-    #[test]
-    fn p_value_bounds(t in -20.0f64..20.0, df in 2.0f64..500.0) {
+    fn p_value_bounds(t in gens::f64s(-20.0, 20.0), df in gens::f64s(2.0, 500.0)) {
         let p = t_two_sided_p(t, df);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!(t_two_sided_p(0.0, df) > 0.999);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(t_two_sided_p(0.0, df) > 0.999);
     }
 
     /// A mean shift strictly larger than the spread is detected.
-    #[test]
-    fn welch_detects_large_shift(base in prop::collection::vec(0.0f64..1.0, 10..30)) {
+    fn welch_detects_large_shift(base in gens::vecs(gens::f64s(0.0, 1.0), 10, 29)) {
         let shifted: Vec<f64> = base.iter().map(|x| x + 10.0).collect();
         let tt = welch_t_test(&shifted, &base);
-        prop_assert!(tt.p < 0.01, "p = {}", tt.p);
-        prop_assert!(tt.t > 0.0);
+        assert!(tt.p < 0.01, "p = {}", tt.p);
+        assert!(tt.t > 0.0);
     }
 }

@@ -19,7 +19,9 @@ pub struct Gru4RecEncoder {
 impl Gru4RecEncoder {
     /// Build with hidden width equal to the embedding width `d`.
     pub fn new(store: &mut ParamStore, d: usize, rng: &mut Rng) -> Self {
-        Gru4RecEncoder { gru: Gru::new(store, "gru4rec", d, d, rng) }
+        Gru4RecEncoder {
+            gru: Gru::new(store, "gru4rec", d, d, rng),
+        }
     }
 }
 
@@ -219,7 +221,13 @@ pub struct PositionalEmbedding {
 
 impl PositionalEmbedding {
     /// Build for positions `0..max_len`.
-    pub fn new(store: &mut ParamStore, name: &str, max_len: usize, d: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        max_len: usize,
+        d: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let w = store.add_xavier(format!("{name}.pos"), &[max_len, d], rng);
         PositionalEmbedding { w, max_len }
     }
@@ -227,7 +235,11 @@ impl PositionalEmbedding {
     /// Add positional encodings to `h_seq` (`B×T×d`, `T ≤ max_len`).
     pub fn add_to(&self, g: &mut Graph, bind: &Binding, h_seq: Var) -> Var {
         let (_b, t, _d) = g.value(h_seq).dims3();
-        assert!(t <= self.max_len, "sequence length {t} exceeds max_len {}", self.max_len);
+        assert!(
+            t <= self.max_len,
+            "sequence length {t} exceeds max_len {}",
+            self.max_len
+        );
         let idx: Vec<usize> = (0..t).collect();
         let w = bind.var(self.w);
         let pos = g.embedding(w, &idx); // T×d — a suffix of B×T×d
@@ -244,7 +256,14 @@ pub struct SasRecEncoder {
 
 impl SasRecEncoder {
     /// Build with `layers` blocks of `heads` heads.
-    pub fn new(store: &mut ParamStore, d: usize, max_len: usize, layers: usize, heads: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        d: usize,
+        max_len: usize,
+        layers: usize,
+        heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let pos = PositionalEmbedding::new(store, "sasrec", max_len, d, rng);
         let blocks = (0..layers)
             .map(|i| TransformerBlock::new(store, &format!("sasrec.blk{i}"), d, heads, rng))
@@ -256,7 +275,9 @@ impl SasRecEncoder {
 impl SeqEncoder for SasRecEncoder {
     fn encode(&self, g: &mut Graph, bind: &Binding, h_seq: Var) -> Var {
         let (_b, t, _d) = g.value(h_seq).dims3();
-        let all = self.encode_causal_all(g, bind, h_seq).expect("SASRec is causal");
+        let all = self
+            .encode_causal_all(g, bind, h_seq)
+            .expect("SASRec is causal");
         g.select_time(all, t - 1)
     }
 
@@ -289,7 +310,14 @@ pub struct Bert4RecEncoder {
 
 impl Bert4RecEncoder {
     /// Build with `layers` blocks of `heads` heads.
-    pub fn new(store: &mut ParamStore, d: usize, max_len: usize, layers: usize, heads: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        d: usize,
+        max_len: usize,
+        layers: usize,
+        heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let pos = PositionalEmbedding::new(store, "bert4rec", max_len, d, rng);
         let blocks = (0..layers)
             .map(|i| TransformerBlock::new(store, &format!("bert4rec.blk{i}"), d, heads, rng))
@@ -321,7 +349,10 @@ mod tests {
 
     fn rand_seq(b: usize, t: usize, d: usize, seed: u64) -> Tensor {
         let mut rng = Rng::seed(seed);
-        Tensor::new((0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[b, t, d])
+        Tensor::new(
+            (0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+            &[b, t, d],
+        )
     }
 
     #[test]
@@ -352,8 +383,14 @@ mod tests {
             let sq = g.mul(out, out);
             let loss = g.sum_all(sq);
             let grads = g.backward(loss);
-            let gx = grads.get(x).unwrap_or_else(|| panic!("{}: no input grad", enc.name()));
-            assert!(gx.data().iter().any(|&v| v != 0.0), "{}: zero grad", enc.name());
+            let gx = grads
+                .get(x)
+                .unwrap_or_else(|| panic!("{}: no input grad", enc.name()));
+            assert!(
+                gx.data().iter().any(|&v| v != 0.0),
+                "{}: zero grad",
+                enc.name()
+            );
         }
     }
 

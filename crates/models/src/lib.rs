@@ -13,8 +13,8 @@ pub mod model;
 pub mod trainer;
 
 pub use backbones::{
-    Bert4RecEncoder, CaserEncoder, Gru4RecEncoder, NarmEncoder, PositionalEmbedding,
-    SasRecEncoder, StampEncoder,
+    Bert4RecEncoder, CaserEncoder, Gru4RecEncoder, NarmEncoder, PositionalEmbedding, SasRecEncoder,
+    StampEncoder,
 };
 pub use encoder::{BackboneKind, SeqEncoder};
 pub use model::{build_encoder, Objective, RecModel, SeqRec};

@@ -119,12 +119,26 @@ pub struct SeqRec {
 
 impl SeqRec {
     /// Build a recommender with the given backbone.
-    pub fn new(kind: BackboneKind, num_items: usize, dim: usize, max_len: usize, seed: u64) -> Self {
+    pub fn new(
+        kind: BackboneKind,
+        num_items: usize,
+        dim: usize,
+        max_len: usize,
+        seed: u64,
+    ) -> Self {
         let mut store = ParamStore::new();
         let mut rng = Rng::seed(seed);
         let item_emb = Embedding::new(&mut store, "item", num_items + 1, dim, &mut rng);
         let encoder = build_encoder(kind, &mut store, dim, max_len, &mut rng);
-        SeqRec { store, item_emb, encoder, dim, dropout: 0.1, objective: Objective::default(), num_items }
+        SeqRec {
+            store,
+            item_emb,
+            encoder,
+            dim,
+            dropout: 0.1,
+            objective: Objective::default(),
+            num_items,
+        }
     }
 
     /// Number of real items (catalogue size).
@@ -134,7 +148,8 @@ impl SeqRec {
 
     /// Embed a batch's item IDs into `B×T×d`.
     pub fn embed_batch(&self, g: &mut Graph, bind: &Binding, batch: &Batch) -> Var {
-        self.item_emb.lookup_seq(g, bind, &batch.items, batch.len(), batch.seq_len)
+        self.item_emb
+            .lookup_seq(g, bind, &batch.items, batch.len(), batch.seq_len)
     }
 
     /// Score a sequence representation `B×d` against the whole catalogue,
@@ -150,7 +165,13 @@ impl SeqRec {
     }
 
     /// Full forward for a batch; `rng` enables dropout (training mode).
-    pub fn forward(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: Option<&mut Rng>) -> Var {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        rng: Option<&mut Rng>,
+    ) -> Var {
         let mut h = self.embed_batch(g, bind, batch);
         if let Some(rng) = rng {
             if self.dropout > 0.0 {
@@ -171,7 +192,14 @@ impl SeqRec {
     }
 
     /// BPR pairwise ranking loss over sampled negatives.
-    fn bpr_loss(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: &mut Rng, negatives: usize) -> Var {
+    fn bpr_loss(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        rng: &mut Rng,
+        negatives: usize,
+    ) -> Var {
         assert!(negatives > 0, "BPR needs at least one negative");
         let mut h = self.embed_batch(g, bind, batch);
         if self.dropout > 0.0 {
@@ -216,7 +244,13 @@ impl SeqRec {
     /// Autoregressive loss: every causal position `t` predicts the item at
     /// `t+1` (the batch target for the final position). Returns `None` when
     /// the encoder is not position-wise causal.
-    fn all_positions_loss(&self, g: &mut Graph, bind: &Binding, batch: &Batch, rng: &mut Rng) -> Option<Var> {
+    fn all_positions_loss(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        rng: &mut Rng,
+    ) -> Option<Var> {
         let b = batch.len();
         let t = batch.seq_len;
         let mut h = self.embed_batch(g, bind, batch);
@@ -227,12 +261,16 @@ impl SeqRec {
         let states = self.encoder.encode_causal_all(g, bind, h)?; // B×T×d
         let flat = g.reshape(states, &[b * t, self.dim]);
         let logits = self.score_repr(g, bind, flat); // (B·T)×(V+1)
-        // Position t predicts s_{t+1}; the last position predicts the target.
+                                                     // Position t predicts s_{t+1}; the last position predicts the target.
         let mut targets = Vec::with_capacity(b * t);
         for i in 0..b {
             let seq = batch.seq(i);
             for ti in 0..t {
-                targets.push(if ti + 1 < t { seq[ti + 1] } else { batch.targets[i] });
+                targets.push(if ti + 1 < t {
+                    seq[ti + 1]
+                } else {
+                    batch.targets[i]
+                });
             }
         }
         Some(self.ce_loss(g, logits, &targets))
@@ -358,7 +396,12 @@ mod tests {
 
     #[test]
     fn example_roundtrip_through_batching() {
-        let examples = vec![Example { user: 0, seq: vec![1, 2], target: 3, noise: None }];
+        let examples = vec![Example {
+            user: 0,
+            seq: vec![1, 2],
+            target: 3,
+            noise: None,
+        }];
         let batches = ssdrec_data::make_batches(&examples, 8, 0);
         let model = SeqRec::new(BackboneKind::Caser, 5, 8, 20, 4);
         let mut g = Graph::new();

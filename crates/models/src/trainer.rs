@@ -96,7 +96,11 @@ pub struct TrainReport {
 }
 
 /// Evaluate a model on a set of examples, returning the rank accumulator.
-pub fn evaluate<M: RecModel>(model: &M, examples: &[Example], batch_size: usize) -> RankingAccumulator {
+pub fn evaluate<M: RecModel>(
+    model: &M,
+    examples: &[Example],
+    batch_size: usize,
+) -> RankingAccumulator {
     let mut acc = RankingAccumulator::new();
     let batches = make_batches(examples, batch_size, 0);
     for batch in &batches {
@@ -131,7 +135,11 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
         epochs_run = epoch + 1;
         model.on_epoch_start(epoch, cfg.epochs);
         let t0 = Instant::now();
-        let batches = make_batches(&split.train, cfg.batch_size, cfg.seed.wrapping_add(epoch as u64));
+        let batches = make_batches(
+            &split.train,
+            cfg.batch_size,
+            cfg.seed.wrapping_add(epoch as u64),
+        );
         let mut epoch_loss = 0.0f32;
         let mut nb = 0usize;
         for batch in &batches {
@@ -149,7 +157,11 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
             model.after_step();
         }
         total_train_secs += t0.elapsed().as_secs_f64();
-        final_loss = if nb > 0 { epoch_loss / nb as f32 } else { f32::NAN };
+        final_loss = if nb > 0 {
+            epoch_loss / nb as f32
+        } else {
+            f32::NAN
+        };
 
         let vacc = evaluate(model, &split.valid, cfg.batch_size);
         let hr20 = vacc.hr(20);
@@ -183,7 +195,11 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
         valid: best_valid,
         test: tacc.report(),
         test_ranks: tacc.ranks().to_vec(),
-        train_secs_per_epoch: if epochs_run > 0 { total_train_secs / epochs_run as f64 } else { 0.0 },
+        train_secs_per_epoch: if epochs_run > 0 {
+            total_train_secs / epochs_run as f64
+        } else {
+            0.0
+        },
         infer_secs,
         final_loss,
     }
@@ -197,7 +213,12 @@ mod tests {
     use ssdrec_data::{prepare, SyntheticConfig};
 
     fn small_split() -> (usize, Split) {
-        let ds = SyntheticConfig::beauty().scaled(0.15).with_seed(3).generate();
+        // Large enough that "beats random" has real margin: at tiny scales
+        // random HR@20 approaches 1 and the assertion measures only noise.
+        let ds = SyntheticConfig::beauty()
+            .scaled(0.3)
+            .with_seed(3)
+            .generate();
         let (filtered, split) = prepare(&ds, 50, 2);
         (filtered.num_items, split)
     }
@@ -206,7 +227,12 @@ mod tests {
     fn training_reduces_loss_and_beats_random() {
         let (num_items, split) = small_split();
         let mut model = SeqRec::new(BackboneKind::Gru4Rec, num_items, 16, 50, 0);
-        let cfg = TrainConfig { epochs: 5, batch_size: 32, patience: 10, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            patience: 10,
+            ..TrainConfig::default()
+        };
         let report = train(&mut model, &split, &cfg);
         assert!(report.final_loss.is_finite());
         // Random ranking would give HR@20 ≈ 20 / num_items.
@@ -223,7 +249,12 @@ mod tests {
     fn early_stopping_restores_best() {
         let (num_items, split) = small_split();
         let mut model = SeqRec::new(BackboneKind::Stamp, num_items, 8, 50, 1);
-        let cfg = TrainConfig { epochs: 3, batch_size: 32, patience: 1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 32,
+            patience: 1,
+            ..TrainConfig::default()
+        };
         let report = train(&mut model, &split, &cfg);
         // Restored model must reproduce the reported valid metrics.
         let vacc = evaluate(&model, &split.valid, 32);
@@ -234,7 +265,11 @@ mod tests {
     fn report_times_are_positive() {
         let (num_items, split) = small_split();
         let mut model = SeqRec::new(BackboneKind::Gru4Rec, num_items, 8, 50, 2);
-        let cfg = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
         let report = train(&mut model, &split, &cfg);
         assert!(report.train_secs_per_epoch > 0.0);
         assert!(report.infer_secs > 0.0);
@@ -251,12 +286,20 @@ mod objective_tests {
 
     #[test]
     fn all_positions_objective_trains_causal_backbones() {
-        let ds = SyntheticConfig::beauty().scaled(0.15).with_seed(3).generate();
+        let ds = SyntheticConfig::beauty()
+            .scaled(0.3)
+            .with_seed(3)
+            .generate();
         let (filtered, split) = prepare(&ds, 50, 2);
         for kind in [BackboneKind::SasRec, BackboneKind::Gru4Rec] {
             let mut model = SeqRec::new(kind, filtered.num_items, 8, 50, 0);
             model.objective = Objective::AllPositions;
-            let cfg = TrainConfig { epochs: 5, batch_size: 32, patience: 10, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                epochs: 5,
+                batch_size: 32,
+                patience: 10,
+                ..TrainConfig::default()
+            };
             let report = train(&mut model, &split, &cfg);
             assert!(report.final_loss.is_finite(), "{kind:?} diverged");
             let random = 20.0 / filtered.num_items as f64;
@@ -268,11 +311,18 @@ mod objective_tests {
     fn all_positions_falls_back_for_non_causal() {
         // STAMP has no causal per-position states; the objective must fall
         // back to last-position rather than fail.
-        let ds = SyntheticConfig::beauty().scaled(0.12).with_seed(4).generate();
+        let ds = SyntheticConfig::beauty()
+            .scaled(0.12)
+            .with_seed(4)
+            .generate();
         let (filtered, split) = prepare(&ds, 50, 2);
         let mut model = SeqRec::new(BackboneKind::Stamp, filtered.num_items, 8, 50, 1);
         model.objective = Objective::AllPositions;
-        let cfg = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
         let report = train(&mut model, &split, &cfg);
         assert!(report.final_loss.is_finite());
     }
@@ -287,11 +337,19 @@ mod bpr_tests {
 
     #[test]
     fn bpr_objective_learns_ranking() {
-        let ds = SyntheticConfig::beauty().scaled(0.15).with_seed(5).generate();
+        let ds = SyntheticConfig::beauty()
+            .scaled(0.3)
+            .with_seed(5)
+            .generate();
         let (filtered, split) = prepare(&ds, 50, 2);
         let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 2);
         model.objective = Objective::Bpr { negatives: 4 };
-        let cfg = TrainConfig { epochs: 5, batch_size: 32, patience: 10, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            patience: 10,
+            ..TrainConfig::default()
+        };
         let report = train(&mut model, &split, &cfg);
         assert!(report.final_loss.is_finite() && report.final_loss > 0.0);
         let random = 20.0 / filtered.num_items as f64;
@@ -301,11 +359,18 @@ mod bpr_tests {
     #[test]
     #[should_panic]
     fn bpr_rejects_zero_negatives() {
-        let ds = SyntheticConfig::beauty().scaled(0.1).with_seed(6).generate();
+        let ds = SyntheticConfig::beauty()
+            .scaled(0.1)
+            .with_seed(6)
+            .generate();
         let (filtered, split) = prepare(&ds, 50, 2);
         let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 3);
         model.objective = Objective::Bpr { negatives: 0 };
-        let cfg = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
         train(&mut model, &split, &cfg);
     }
 }
@@ -334,7 +399,10 @@ mod schedule_tests {
         use crate::encoder::BackboneKind;
         use crate::model::SeqRec;
         use ssdrec_data::{prepare, SyntheticConfig};
-        let ds = SyntheticConfig::beauty().scaled(0.1).with_seed(9).generate();
+        let ds = SyntheticConfig::beauty()
+            .scaled(0.1)
+            .with_seed(9)
+            .generate();
         let (filtered, split) = prepare(&ds, 50, 2);
         let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 0);
         let cfg = TrainConfig {

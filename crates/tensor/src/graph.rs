@@ -118,7 +118,9 @@ pub const LN_CLAMP: f32 = 1e-12;
 impl Graph {
     /// An empty graph.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
+        Graph {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     /// Number of recorded nodes.
@@ -132,7 +134,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -412,7 +418,12 @@ impl Graph {
         assert_eq!(mask.len(), self.value(a).len(), "dropout mask length");
         let t = {
             let v = self.value(a);
-            let data = v.data().iter().zip(mask.iter()).map(|(x, m)| x * m).collect();
+            let data = v
+                .data()
+                .iter()
+                .zip(mask.iter())
+                .map(|(x, m)| x * m)
+                .collect();
             Tensor::new(data, v.shape())
         };
         let rg = self.rg(a);
@@ -490,7 +501,8 @@ impl Graph {
                     let av = self.value(*a);
                     let mut g = Tensor::zeros(bv.shape());
                     for i in 0..g.len() {
-                        g.data_mut()[i] = -gout.data()[i] * av.data()[i] / (bv.data()[i] * bv.data()[i]);
+                        g.data_mut()[i] =
+                            -gout.data()[i] * av.data()[i] / (bv.data()[i] * bv.data()[i]);
                     }
                     self.accum(grads, *b, g);
                 }
@@ -498,7 +510,11 @@ impl Graph {
             Op::AddBcast(a, b) => {
                 self.accum(grads, *a, gout.clone());
                 if self.rg(*b) {
-                    self.accum(grads, *b, kernels::reduce_to_suffix(gout, self.value(*b).shape()));
+                    self.accum(
+                        grads,
+                        *b,
+                        kernels::reduce_to_suffix(gout, self.value(*b).shape()),
+                    );
                 }
             }
             Op::MulBcast(a, b) => {
@@ -519,23 +535,43 @@ impl Graph {
             }
             Op::Ln(a) => {
                 let av = self.value(*a);
-                self.accum(grads, *a, kernels::zip(gout, av, |g, x| g / x.max(LN_CLAMP)));
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::zip(gout, av, |g, x| g / x.max(LN_CLAMP)),
+                );
             }
             Op::Sigmoid(a) => {
-                self.accum(grads, *a, kernels::zip(gout, &node.value, |g, y| g * y * (1.0 - y)));
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::zip(gout, &node.value, |g, y| g * y * (1.0 - y)),
+                );
             }
             Op::Tanh(a) => {
-                self.accum(grads, *a, kernels::zip(gout, &node.value, |g, y| g * (1.0 - y * y)));
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::zip(gout, &node.value, |g, y| g * (1.0 - y * y)),
+                );
             }
             Op::Relu(a) => {
                 let av = self.value(*a);
-                self.accum(grads, *a, kernels::zip(gout, av, |g, x| if x > 0.0 { g } else { 0.0 }));
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::zip(gout, av, |g, x| if x > 0.0 { g } else { 0.0 }),
+                );
             }
             Op::Sqrt(a) => {
                 self.accum(
                     grads,
                     *a,
-                    kernels::zip(gout, &node.value, |g, y| if y > 0.0 { g / (2.0 * y) } else { 0.0 }),
+                    kernels::zip(
+                        gout,
+                        &node.value,
+                        |g, y| if y > 0.0 { g / (2.0 * y) } else { 0.0 },
+                    ),
                 );
             }
             Op::Max2(a, b) => {
@@ -576,14 +612,15 @@ impl Graph {
                 self.accum(grads, *a, kernels::softmax_last_backward(&node.value, gout));
             }
             Op::LogSoftmaxLast(a) => {
-                self.accum(grads, *a, kernels::log_softmax_last_backward(&node.value, gout));
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::log_softmax_last_backward(&node.value, gout),
+                );
             }
             Op::LayerNorm(x, gamma, beta) => {
-                let (gx, gg, gb) = kernels::layer_norm_backward(
-                    self.value(*x),
-                    self.value(*gamma),
-                    gout,
-                );
+                let (gx, gg, gb) =
+                    kernels::layer_norm_backward(self.value(*x), self.value(*gamma), gout);
                 if self.rg(*x) {
                     self.accum(grads, *x, gx);
                 }
@@ -604,10 +641,18 @@ impl Graph {
                 self.accum(grads, *a, Tensor::full(self.value(*a).shape(), g));
             }
             Op::SumLast(a) => {
-                self.accum(grads, *a, kernels::sum_last_backward(self.value(*a).shape(), gout));
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::sum_last_backward(self.value(*a).shape(), gout),
+                );
             }
             Op::SumTime(a) => {
-                self.accum(grads, *a, kernels::sum_time_backward(self.value(*a).shape(), gout));
+                self.accum(
+                    grads,
+                    *a,
+                    kernels::sum_time_backward(self.value(*a).shape(), gout),
+                );
             }
             Op::ConcatLast(parts) => {
                 let shapes: Vec<&[usize]> = parts.iter().map(|v| self.value(*v).shape()).collect();
@@ -646,7 +691,11 @@ impl Graph {
             }
             Op::Embedding(w, idx) => {
                 if self.rg(*w) {
-                    self.accum(grads, *w, kernels::scatter_rows(self.value(*w).shape(), idx, gout));
+                    self.accum(
+                        grads,
+                        *w,
+                        kernels::scatter_rows(self.value(*w).shape(), idx, gout),
+                    );
                 }
             }
             Op::PickPerRow(a, idx) => {
@@ -663,7 +712,12 @@ impl Graph {
                 self.accum(grads, *a, gout.clone().reshaped(&ash));
             }
             Op::Dropout(a, mask) => {
-                let data = gout.data().iter().zip(mask.iter()).map(|(g, m)| g * m).collect();
+                let data = gout
+                    .data()
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(g, m)| g * m)
+                    .collect();
                 self.accum(grads, *a, Tensor::new(data, gout.shape()));
             }
             Op::Detach => {}
@@ -677,11 +731,7 @@ mod tests {
 
     /// Central finite-difference check of `d loss / d x[i]` for every input
     /// element, against the autograd gradient.
-    fn check_grad(
-        build: impl Fn(&mut Graph, Var) -> Var,
-        x0: Tensor,
-        tol: f32,
-    ) {
+    fn check_grad(build: impl Fn(&mut Graph, Var) -> Var, x0: Tensor, tol: f32) {
         let mut g = Graph::new();
         let x = g.param(x0.clone());
         let loss = build(&mut g, x);
@@ -793,14 +843,20 @@ mod tests {
 
     #[test]
     fn grad_matmul_batched() {
-        let b0 = t(&(0..12).map(|i| 0.1 * i as f32 - 0.5).collect::<Vec<_>>(), &[2, 3, 2]);
+        let b0 = t(
+            &(0..12).map(|i| 0.1 * i as f32 - 0.5).collect::<Vec<_>>(),
+            &[2, 3, 2],
+        );
         check_grad(
             move |g, x| {
                 let b = g.param(b0.clone());
                 let y = g.matmul(x, b);
                 g.sum_all(y)
             },
-            t(&(0..12).map(|i| 0.05 * i as f32).collect::<Vec<_>>(), &[2, 2, 3]),
+            t(
+                &(0..12).map(|i| 0.05 * i as f32).collect::<Vec<_>>(),
+                &[2, 2, 3],
+            ),
             1e-2,
         );
     }
@@ -814,7 +870,10 @@ mod tests {
                 let y = g.matmul(x, b); // (2,2,3)x(3,2)
                 g.sum_all(y)
             },
-            t(&(0..12).map(|i| 0.07 * i as f32 - 0.3).collect::<Vec<_>>(), &[2, 2, 3]),
+            t(
+                &(0..12).map(|i| 0.07 * i as f32 - 0.3).collect::<Vec<_>>(),
+                &[2, 2, 3],
+            ),
             1e-2,
         );
     }
@@ -913,7 +972,10 @@ mod tests {
                 let sq = g.mul(st, st);
                 g.sum_all(sq)
             },
-            t(&(0..12).map(|i| 0.3 * i as f32 - 1.0).collect::<Vec<_>>(), &[2, 2, 3]),
+            t(
+                &(0..12).map(|i| 0.3 * i as f32 - 1.0).collect::<Vec<_>>(),
+                &[2, 2, 3],
+            ),
             1e-2,
         );
     }
@@ -926,7 +988,10 @@ mod tests {
                 let sq = g.mul(e, e);
                 g.sum_all(sq)
             },
-            t(&(0..8).map(|i| 0.25 * i as f32 - 1.0).collect::<Vec<_>>(), &[4, 2]),
+            t(
+                &(0..8).map(|i| 0.25 * i as f32 - 1.0).collect::<Vec<_>>(),
+                &[4, 2],
+            ),
             1e-2,
         );
         check_grad(
@@ -1035,7 +1100,10 @@ mod tests {
                 let sq = g.mul(mid, mid);
                 g.sum_all(sq)
             },
-            t(&(0..18).map(|i| 0.2 * i as f32 - 1.0).collect::<Vec<_>>(), &[2, 3, 3]),
+            t(
+                &(0..18).map(|i| 0.2 * i as f32 - 1.0).collect::<Vec<_>>(),
+                &[2, 3, 3],
+            ),
             1e-2,
         );
     }
@@ -1048,7 +1116,10 @@ mod tests {
                 let sq = g.mul(s, s);
                 g.sum_all(sq)
             },
-            t(&(0..12).map(|i| 0.1 * i as f32).collect::<Vec<_>>(), &[2, 3, 2]),
+            t(
+                &(0..12).map(|i| 0.1 * i as f32).collect::<Vec<_>>(),
+                &[2, 3, 2],
+            ),
             1e-2,
         );
     }

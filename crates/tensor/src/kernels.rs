@@ -10,7 +10,12 @@ use crate::tensor::Tensor;
 /// Element-wise zip of two same-shape tensors.
 pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "zip shape mismatch");
-    let data = a.data().iter().zip(b.data().iter()).map(|(&x, &y)| f(x, y)).collect();
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
     Tensor::new(data, a.shape())
 }
 
@@ -44,16 +49,7 @@ pub fn reduce_to_suffix(a: &Tensor, suffix: &[usize]) -> Tensor {
 
 /// `out[m×n] (+)= a[m×k] · b[k×n]` with optional operand transposes.
 #[allow(clippy::too_many_arguments)]
-fn gemm(
-    a: &[f32],
-    ta: bool,
-    b: &[f32],
-    tb: bool,
-    m: usize,
-    k: usize,
-    n: usize,
-    out: &mut [f32],
-) {
+fn gemm(a: &[f32], ta: bool, b: &[f32], tb: bool, m: usize, k: usize, n: usize, out: &mut [f32]) {
     // a is m×k after the (optional) transpose; likewise b is k×n.
     debug_assert_eq!(out.len(), m * n);
     if !ta && !tb {
@@ -129,26 +125,50 @@ fn mat_case(a: &Tensor, b: &Tensor) -> MatCase {
         (2, 2) => {
             let (m, k) = a.dims2();
             let (k2, n) = b.dims2();
-            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            assert_eq!(
+                k,
+                k2,
+                "matmul inner dims: {:?} x {:?}",
+                a.shape(),
+                b.shape()
+            );
             MatCase::TwoTwo(m, k, n)
         }
         (3, 3) => {
             let (ba, m, k) = a.dims3();
             let (bb, k2, n) = b.dims3();
             assert_eq!(ba, bb, "batched matmul batch dims");
-            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            assert_eq!(
+                k,
+                k2,
+                "matmul inner dims: {:?} x {:?}",
+                a.shape(),
+                b.shape()
+            );
             MatCase::ThreeThree(ba, m, k, n)
         }
         (3, 2) => {
             let (ba, m, k) = a.dims3();
             let (k2, n) = b.dims2();
-            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            assert_eq!(
+                k,
+                k2,
+                "matmul inner dims: {:?} x {:?}",
+                a.shape(),
+                b.shape()
+            );
             MatCase::ThreeTwo(ba, m, k, n)
         }
         (2, 3) => {
             let (m, k) = a.dims2();
             let (bb, k2, n) = b.dims3();
-            assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", a.shape(), b.shape());
+            assert_eq!(
+                k,
+                k2,
+                "matmul inner dims: {:?} x {:?}",
+                a.shape(),
+                b.shape()
+            );
             MatCase::TwoThree(bb, m, k, n)
         }
         (da, db) => panic!("matmul unsupported ranks {da}/{db}"),
@@ -714,7 +734,10 @@ mod tests {
     #[test]
     fn matmul_batched_matches_per_batch() {
         let a = t(&(0..12).map(|i| i as f32).collect::<Vec<_>>(), &[2, 2, 3]);
-        let b = t(&(0..12).map(|i| (i as f32) * 0.5).collect::<Vec<_>>(), &[2, 3, 2]);
+        let b = t(
+            &(0..12).map(|i| (i as f32) * 0.5).collect::<Vec<_>>(),
+            &[2, 3, 2],
+        );
         let c = matmul(&a, &b);
         let a0 = t(&a.data()[..6], &[2, 3]);
         let b0 = t(&b.data()[..6], &[3, 2]);
@@ -776,7 +799,12 @@ mod tests {
         let beta = Tensor::zeros(&[4]);
         let y = layer_norm(&x, &gamma, &beta);
         let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gradtest;
 pub mod graph;
 pub mod init;
 pub mod kernels;
@@ -35,6 +36,7 @@ pub mod persist;
 pub mod rng;
 pub mod tensor;
 
+pub use gradtest::fd_check_all_params;
 pub use graph::{Gradients, Graph, Var};
 pub use optim::{Adam, Binding, ParamRef, ParamStore, Sgd};
 pub use persist::{load_params, save_params};

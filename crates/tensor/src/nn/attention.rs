@@ -53,7 +53,13 @@ pub fn padding_mask(pad: &[Vec<bool>]) -> Tensor {
 impl MultiHeadAttention {
     /// New attention with `heads` heads over feature width `dim`
     /// (`dim % heads == 0`).
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
         assert_eq!(dim % heads, 0, "dim {dim} not divisible by heads {heads}");
         MultiHeadAttention {
             q: Linear::new(store, &format!("{name}.q"), dim, dim, rng),
@@ -95,7 +101,11 @@ impl MultiHeadAttention {
             let attn = g.softmax_last(scores);
             head_outs.push(g.matmul(attn, vs));
         }
-        let merged = if head_outs.len() == 1 { head_outs[0] } else { g.concat_last(&head_outs) };
+        let merged = if head_outs.len() == 1 {
+            head_outs[0]
+        } else {
+            g.concat_last(&head_outs)
+        };
         self.out.forward(g, bind, merged)
     }
 }
@@ -108,7 +118,13 @@ pub struct FeedForward {
 
 impl FeedForward {
     /// A new FFN with the given inner width.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, inner: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        inner: usize,
+        rng: &mut Rng,
+    ) -> Self {
         FeedForward {
             l1: Linear::new(store, &format!("{name}.l1"), dim, inner, rng),
             l2: Linear::new(store, &format!("{name}.l2"), inner, dim, rng),
@@ -134,7 +150,13 @@ pub struct TransformerBlock {
 
 impl TransformerBlock {
     /// A new block with `heads` heads and FFN inner width `4*dim`.
-    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
         TransformerBlock {
             attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
             ffn: FeedForward::new(store, &format!("{name}.ffn"), dim, dim * 4, rng),
@@ -160,7 +182,10 @@ mod tests {
 
     fn seq(b: usize, t: usize, d: usize, seed: u64) -> Tensor {
         let mut rng = Rng::seed(seed);
-        Tensor::new((0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[b, t, d])
+        Tensor::new(
+            (0..b * t * d).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+            &[b, t, d],
+        )
     }
 
     #[test]

@@ -49,7 +49,15 @@ impl DftFilter {
         // Inverse DFT: conj(F)/T.
         let inv_re = f_re.map(|x| x / t_len as f32);
         let inv_im = f_im.map(|x| -x / t_len as f32);
-        DftFilter { w_re, w_im, f_re, f_im, inv_re, inv_im, t_len }
+        DftFilter {
+            w_re,
+            w_im,
+            f_re,
+            f_im,
+            inv_re,
+            inv_im,
+            t_len,
+        }
     }
 
     /// Sequence length the filter was built for.
@@ -60,7 +68,11 @@ impl DftFilter {
     /// Apply the filter to `x` of shape `B×T×d` (T must equal `t_len`).
     pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
         let (_b, t, _d) = g.value(x).dims3();
-        assert_eq!(t, self.t_len, "DftFilter built for T={}, got {t}", self.t_len);
+        assert_eq!(
+            t, self.t_len,
+            "DftFilter built for T={}, got {t}",
+            self.t_len
+        );
 
         let fre = g.constant(self.f_re.clone());
         let fim = g.constant(self.f_im.clone());
@@ -99,7 +111,10 @@ mod tests {
         let mut g = Graph::new();
         let bind = store.bind_all(&mut g);
         let mut rng = Rng::seed(0);
-        let x0 = Tensor::new((0..2 * 6 * 3).map(|_| rng.uniform(-1.0, 1.0)).collect(), &[2, 6, 3]);
+        let x0 = Tensor::new(
+            (0..2 * 6 * 3).map(|_| rng.uniform(-1.0, 1.0)).collect(),
+            &[2, 6, 3],
+        );
         let x = g.constant(x0.clone());
         let y = f.forward(&mut g, &bind, x);
         for (a, b) in g.value(y).data().iter().zip(x0.data()) {

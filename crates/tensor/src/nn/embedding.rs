@@ -13,7 +13,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// A new Xavier-initialised table for `vocab` IDs of width `dim`.
-    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let w = store.add_xavier(format!("{name}.weight"), &[vocab, dim], rng);
         Embedding { w, vocab, dim }
     }
@@ -43,7 +49,14 @@ impl Embedding {
     ///
     /// `ids` is row-major `B×T`; the caller supplies a padding ID that must
     /// be a valid row (conventionally row 0).
-    pub fn lookup_seq(&self, g: &mut Graph, bind: &Binding, ids: &[usize], batch: usize, time: usize) -> Var {
+    pub fn lookup_seq(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        ids: &[usize],
+        batch: usize,
+        time: usize,
+    ) -> Var {
         assert_eq!(ids.len(), batch * time, "lookup_seq id count");
         let flat = self.lookup(g, bind, ids);
         g.reshape(flat, &[batch, time, self.dim])
@@ -60,7 +73,6 @@ impl Embedding {
 mod tests {
     use super::*;
     use crate::optim::Adam;
-    
 
     #[test]
     fn lookup_gathers_rows() {

@@ -17,16 +17,38 @@ pub struct Linear {
 
 impl Linear {
     /// A new Xavier-initialised layer with bias.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let w = store.add_xavier(format!("{name}.w"), &[in_dim, out_dim], rng);
         let b = Some(store.add_zeros(format!("{name}.b"), &[out_dim]));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// A new Xavier-initialised layer without bias.
-    pub fn new_no_bias(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+    pub fn new_no_bias(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let w = store.add_xavier(format!("{name}.w"), &[in_dim, out_dim], rng);
-        Linear { w, b: None, in_dim, out_dim }
+        Linear {
+            w,
+            b: None,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature width.

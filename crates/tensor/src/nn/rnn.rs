@@ -24,7 +24,13 @@ pub struct GruCell {
 
 impl GruCell {
     /// A new cell mapping `in_dim` inputs to `hidden` state units.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
         GruCell {
             wz: Linear::new(store, &format!("{name}.wz"), in_dim, hidden, rng),
             uz: Linear::new_no_bias(store, &format!("{name}.uz"), hidden, hidden, rng),
@@ -74,8 +80,16 @@ pub struct Gru {
 
 impl Gru {
     /// A new GRU layer.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
-        Gru { cell: GruCell::new(store, &format!("{name}.cell"), in_dim, hidden, rng) }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Gru {
+            cell: GruCell::new(store, &format!("{name}.cell"), in_dim, hidden, rng),
+        }
     }
 
     /// Run over a full sequence; returns `(all_states B×T×hidden, last B×hidden)`.
@@ -108,7 +122,13 @@ pub struct LstmCell {
 
 impl LstmCell {
     /// A new cell mapping `in_dim` inputs to `hidden` state units.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
         LstmCell {
             wi: Linear::new(store, &format!("{name}.wi"), in_dim, hidden, rng),
             ui: Linear::new_no_bias(store, &format!("{name}.ui"), hidden, hidden, rng),
@@ -158,8 +178,16 @@ pub struct Lstm {
 
 impl Lstm {
     /// A new LSTM layer.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
-        Lstm { cell: LstmCell::new(store, &format!("{name}.cell"), in_dim, hidden, rng) }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Lstm {
+            cell: LstmCell::new(store, &format!("{name}.cell"), in_dim, hidden, rng),
+        }
     }
 
     /// Run left→right; returns all hidden states `B×T×hidden`.
@@ -177,7 +205,11 @@ impl Lstm {
         let mut h = g.constant(Tensor::zeros(&[b, self.cell.hidden()]));
         let mut c = g.constant(Tensor::zeros(&[b, self.cell.hidden()]));
         let mut states = vec![h; t];
-        let order: Vec<usize> = if reversed { (0..t).rev().collect() } else { (0..t).collect() };
+        let order: Vec<usize> = if reversed {
+            (0..t).rev().collect()
+        } else {
+            (0..t).collect()
+        };
         for ti in order {
             let xt = g.select_time(x, ti);
             let (h2, c2) = self.cell.step(g, bind, xt, h, c);
@@ -199,7 +231,13 @@ pub struct BiLstm {
 
 impl BiLstm {
     /// A new Bi-LSTM with `hidden` units per direction.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
         BiLstm {
             fwd: Lstm::new(store, &format!("{name}.l"), in_dim, hidden, rng),
             bwd: Lstm::new(store, &format!("{name}.r"), in_dim, hidden, rng),

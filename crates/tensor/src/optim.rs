@@ -51,12 +51,22 @@ impl ParamStore {
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamRef {
         let m = Tensor::zeros(value.shape());
         let v = Tensor::zeros(value.shape());
-        self.slots.push(Slot { name: name.into(), value, m, v });
+        self.slots.push(Slot {
+            name: name.into(),
+            value,
+            m,
+            v,
+        });
         ParamRef(self.slots.len() - 1)
     }
 
     /// Register a parameter initialised with Xavier/Glorot uniform init.
-    pub fn add_xavier(&mut self, name: impl Into<String>, shape: &[usize], rng: &mut Rng) -> ParamRef {
+    pub fn add_xavier(
+        &mut self,
+        name: impl Into<String>,
+        shape: &[usize],
+        rng: &mut Rng,
+    ) -> ParamRef {
         self.add(name, crate::init::xavier_uniform(shape, rng))
     }
 
@@ -103,7 +113,11 @@ impl ParamStore {
 
     /// Register every parameter as a leaf of `g`, returning the binding.
     pub fn bind_all(&self, g: &mut Graph) -> Binding {
-        let vars = self.slots.iter().map(|s| g.param(s.value.clone())).collect();
+        let vars = self
+            .slots
+            .iter()
+            .map(|s| g.param(s.value.clone()))
+            .collect();
         Binding { vars }
     }
 
@@ -124,7 +138,12 @@ impl ParamStore {
     pub fn restore(&mut self, snap: &[Tensor]) {
         assert_eq!(snap.len(), self.slots.len(), "snapshot layout mismatch");
         for (slot, t) in self.slots.iter_mut().zip(snap) {
-            assert_eq!(slot.value.shape(), t.shape(), "snapshot shape mismatch for {}", slot.name);
+            assert_eq!(
+                slot.value.shape(),
+                t.shape(),
+                "snapshot shape mismatch for {}",
+                slot.name
+            );
             slot.value = t.clone();
         }
     }
@@ -151,7 +170,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the paper's defaults (lr 1e-3, β₁ 0.9, β₂ 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, clip_norm: Some(5.0), step: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            clip_norm: Some(5.0),
+            step: 0,
+        }
     }
 
     /// Builder-style weight decay.
@@ -182,7 +209,10 @@ impl Adam {
             }
         }
         if let Some(maxn) = self.clip_norm {
-            let total: f32 = pairs.iter().map(|(_, g)| g.data().iter().map(|x| x * x).sum::<f32>()).sum();
+            let total: f32 = pairs
+                .iter()
+                .map(|(_, g)| g.data().iter().map(|x| x * x).sum::<f32>())
+                .sum();
             let norm = total.sqrt();
             if norm > maxn {
                 let s = maxn / norm;
@@ -263,7 +293,11 @@ mod tests {
             let mut grads = g.backward(loss);
             opt.step(&mut store, &b, &mut grads);
         }
-        assert!((store.get(w).item() - 3.0).abs() < 1e-2, "w = {}", store.get(w).item());
+        assert!(
+            (store.get(w).item() - 3.0).abs() < 1e-2,
+            "w = {}",
+            store.get(w).item()
+        );
     }
 
     #[test]

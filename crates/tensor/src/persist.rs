@@ -159,14 +159,20 @@ mod tests {
 
         let mut smaller = ParamStore::new();
         smaller.add_zeros("layer.w", &[4, 3]);
-        assert!(load_params(&mut smaller, &path).is_err(), "tensor count mismatch accepted");
+        assert!(
+            load_params(&mut smaller, &path).is_err(),
+            "tensor count mismatch accepted"
+        );
 
         let mut renamed = ParamStore::new();
         let mut rng = Rng::seed(0);
         renamed.add_xavier("other.w", &[4, 3], &mut rng);
         renamed.add_zeros("layer.b", &[3]);
         renamed.add_ones("ln.gamma", &[3]);
-        assert!(load_params(&mut renamed, &path).is_err(), "name mismatch accepted");
+        assert!(
+            load_params(&mut renamed, &path).is_err(),
+            "name mismatch accepted"
+        );
     }
 
     #[test]

@@ -2,95 +2,34 @@
 //!
 //! All stochastic components (init, dropout, Gumbel noise, data generation)
 //! draw from a seeded [`Rng`] so that every experiment in this workspace is
-//! exactly reproducible.
+//! exactly reproducible. The generator itself lives in
+//! [`ssdrec_testkit::rng`] — a from-scratch `xoshiro256**` with SplitMix64
+//! seeding — and is re-exported here unchanged so substrate code and tests
+//! share one stream implementation.
+//!
+//! # Stream-stability contract
+//!
+//! Same seed → same draw sequence, on every platform and **across PRs**: the
+//! generator, its seeding scheme and the per-helper draw counts are frozen
+//! (see the [`ssdrec_testkit::rng`] module docs for the precise terms).
+//! Golden tests and the recorded experiments under `results/` rely on this;
+//! any change to the stream is a breaking change that must refresh those
+//! values and be flagged in `CHANGES.md`. A pinned-value test in the testkit
+//! (`golden_stream_is_frozen`) turns an accidental break into a test failure.
+//!
+//! Call sites that need decoupled streams (e.g. per-module init vs. dropout)
+//! should derive children with [`Rng::split`] instead of sharing one stream,
+//! so inserting draws in one module cannot shift another module's sequence.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
-
-/// A seeded RNG with the sampling helpers the rest of the workspace needs.
-pub struct Rng {
-    inner: StdRng,
-}
-
-impl Rng {
-    /// A new deterministic generator from a seed.
-    pub fn seed(seed: u64) -> Self {
-        Rng { inner: StdRng::seed_from_u64(seed) }
-    }
-
-    /// Derive an independent child generator (useful for giving each module
-    /// its own stream without coupling draw orders).
-    pub fn split(&mut self) -> Rng {
-        Rng::seed(self.inner.gen())
-    }
-
-    /// Uniform in `[lo, hi)`.
-    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.inner.gen_range(lo..hi)
-    }
-
-    /// Uniform integer in `[0, n)`.
-    pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
-    }
-
-    /// Standard normal via Box–Muller.
-    pub fn normal(&mut self) -> f32 {
-        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-    }
-
-    /// Standard Gumbel(0,1) sample: `−ln(−ln U)`.
-    pub fn gumbel(&mut self) -> f32 {
-        let u: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        -(-u.ln()).ln()
-    }
-
-    /// Bernoulli draw with probability `p`.
-    pub fn bernoulli(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
-    }
-
-    /// An inverted-dropout mask: each element is `0` with probability `p`,
-    /// else `1/(1-p)`.
-    pub fn dropout_mask(&mut self, len: usize, p: f32) -> Vec<f32> {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
-        let keep = 1.0 - p;
-        (0..len)
-            .map(|_| if self.inner.gen::<f32>() < p { 0.0 } else { 1.0 / keep })
-            .collect()
-    }
-
-    /// Fisher–Yates shuffle.
-    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
-            xs.swap(i, j);
-        }
-    }
-
-    /// Sample an index from unnormalised non-negative weights.
-    ///
-    /// # Panics
-    /// Panics if all weights are zero or the slice is empty.
-    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
-        let total: f32 = weights.iter().sum();
-        assert!(total > 0.0 && !weights.is_empty(), "weighted_index on empty/zero weights");
-        let mut r = self.inner.gen_range(0.0..total);
-        for (i, &w) in weights.iter().enumerate() {
-            if r < w {
-                return i;
-            }
-            r -= w;
-        }
-        weights.len() - 1
-    }
-}
+pub use ssdrec_testkit::rng::Rng;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Behavioural checks that the re-exported generator still provides the
+    // sampling surface the substrate depends on; the statistical tests live
+    // with the implementation in `ssdrec_testkit::rng`.
 
     #[test]
     fn deterministic_for_same_seed() {
@@ -102,21 +41,17 @@ mod tests {
     }
 
     #[test]
-    fn normal_has_roughly_zero_mean_unit_var() {
-        let mut r = Rng::seed(42);
-        let xs: Vec<f32> = (0..20_000).map(|_| r.normal()).collect();
-        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
-        assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.1, "var {var}");
-    }
-
-    #[test]
-    fn gumbel_mean_near_euler_mascheroni() {
-        let mut r = Rng::seed(3);
-        let n = 20_000;
-        let mean = (0..n).map(|_| r.gumbel()).sum::<f32>() / n as f32;
-        assert!((mean - 0.5772).abs() < 0.05, "gumbel mean {mean}");
+    fn split_decouples_streams() {
+        let mut parent = Rng::seed(4);
+        let mut child = parent.split();
+        let c1 = child.normal();
+        // Additional parent draws must not affect the child's stream.
+        let mut parent2 = Rng::seed(4);
+        let mut child2 = parent2.split();
+        for _ in 0..10 {
+            parent2.normal();
+        }
+        assert_eq!(c1, child2.normal());
     }
 
     #[test]
@@ -129,23 +64,17 @@ mod tests {
     }
 
     #[test]
-    fn weighted_index_respects_weights() {
-        let mut r = Rng::seed(9);
-        let mut counts = [0usize; 3];
-        for _ in 0..6_000 {
-            counts[r.weighted_index(&[1.0, 0.0, 2.0])] += 1;
-        }
-        assert_eq!(counts[1], 0);
-        assert!(counts[2] > counts[0]);
-    }
-
-    #[test]
-    fn shuffle_is_permutation() {
-        let mut r = Rng::seed(5);
-        let mut xs: Vec<usize> = (0..50).collect();
-        r.shuffle(&mut xs);
-        let mut sorted = xs.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    fn full_sampling_surface_present() {
+        let mut r = Rng::seed(2);
+        let _ = r.uniform(-1.0, 1.0);
+        let _ = r.below(10);
+        let _ = r.between(2, 5);
+        let _ = r.normal();
+        let _ = r.gumbel();
+        let _ = r.bernoulli(0.5);
+        let _ = r.shuffle(&mut [1, 2, 3]);
+        let _ = r.choice(&[1, 2, 3]);
+        let _ = r.weighted_index(&[1.0, 2.0]);
+        let _ = r.split();
     }
 }

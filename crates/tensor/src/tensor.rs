@@ -23,7 +23,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 12 {
             write!(f, ", data={:?})", self.data)
         } else {
-            write!(f, ", data=[{:.4}, {:.4}, …; {}])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, …; {}])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -42,13 +48,19 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { data, shape: shape.to_vec() }
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// An all-zeros tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { data: vec![0.0; n], shape: shape.to_vec() }
+        Tensor {
+            data: vec![0.0; n],
+            shape: shape.to_vec(),
+        }
     }
 
     /// An all-ones tensor of the given shape.
@@ -59,12 +71,18 @@ impl Tensor {
     /// A tensor of the given shape filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { data: vec![value; n], shape: shape.to_vec() }
+        Tensor {
+            data: vec![value; n],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A 0-dimensional-like scalar represented as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: vec![1] }
+        Tensor {
+            data: vec![value],
+            shape: vec![1],
+        }
     }
 
     /// Borrow the underlying data slice.
@@ -113,14 +131,25 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor does not hold exactly one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor of shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
     /// Reinterpret the same buffer under a new shape with equal element count.
     pub fn reshaped(mut self, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(self.data.len(), n, "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            self.data.len(),
+            n,
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -146,7 +175,10 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// In-place `self += other` (shapes must match).

@@ -1,48 +1,45 @@
-//! Property-based tests of the tensor kernels and autograd invariants.
+//! Property-based tests of the tensor kernels and autograd invariants,
+//! running on the in-workspace `ssdrec-testkit` property framework.
 
-use proptest::prelude::*;
+use ssdrec_testkit::{gens, property};
 
 use ssdrec_tensor::{kernels, Graph, Tensor};
 
-fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-10.0f32..10.0, len)
+fn finite_vec(len: usize) -> ssdrec_testkit::Gen<Vec<f32>> {
+    gens::vec_exact(gens::f32s(-10.0, 10.0), len)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+property! {
+    cases = 64;
 
     /// softmax rows always form a probability distribution.
-    #[test]
     fn softmax_rows_are_distributions(data in finite_vec(24)) {
         let t = Tensor::new(data, &[4, 6]);
         let s = kernels::softmax_last(&t);
         for row in s.data().chunks(6) {
             let sum: f32 = row.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert!((sum - 1.0).abs() < 1e-4);
+            assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
         }
     }
 
     /// softmax is invariant to adding a constant per row.
-    #[test]
-    fn softmax_shift_invariance(data in finite_vec(12), c in -5.0f32..5.0) {
+    fn softmax_shift_invariance(data in finite_vec(12), c in gens::f32s(-5.0, 5.0)) {
         let a = Tensor::new(data.clone(), &[2, 6]);
         let b = Tensor::new(data.iter().map(|x| x + c).collect(), &[2, 6]);
         let (sa, sb) = (kernels::softmax_last(&a), kernels::softmax_last(&b));
         for (x, y) in sa.data().iter().zip(sb.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4);
         }
     }
 
     /// transpose is an involution.
-    #[test]
     fn transpose_involution(data in finite_vec(24)) {
         let t = Tensor::new(data, &[2, 3, 4]);
-        prop_assert_eq!(kernels::transpose_last(&kernels::transpose_last(&t)), t);
+        assert_eq!(kernels::transpose_last(&kernels::transpose_last(&t)), t);
     }
 
     /// A·I = A for the identity matrix.
-    #[test]
     fn matmul_identity(data in finite_vec(12)) {
         let a = Tensor::new(data, &[3, 4]);
         let mut eye = Tensor::zeros(&[4, 4]);
@@ -51,12 +48,11 @@ proptest! {
         }
         let prod = kernels::matmul(&a, &eye);
         for (x, y) in prod.data().iter().zip(a.data()) {
-            prop_assert!((x - y).abs() < 1e-5);
+            assert!((x - y).abs() < 1e-5);
         }
     }
 
     /// Matmul distributes over addition: (A+B)·C = A·C + B·C.
-    #[test]
     fn matmul_distributes(a in finite_vec(6), b in finite_vec(6), c in finite_vec(6)) {
         let ta = Tensor::new(a, &[2, 3]);
         let tb = Tensor::new(b, &[2, 3]);
@@ -67,26 +63,24 @@ proptest! {
         let mut rhs = kernels::matmul(&ta, &tc);
         rhs.add_assign(&kernels::matmul(&tb, &tc));
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
         }
     }
 
     /// concat then slice recovers both parts exactly.
-    #[test]
     fn concat_slice_roundtrip(a in finite_vec(8), b in finite_vec(12)) {
         let ta = Tensor::new(a, &[4, 2]);
         let tb = Tensor::new(b, &[4, 3]);
         let cat = kernels::concat_last(&[&ta, &tb]);
-        prop_assert_eq!(kernels::slice_last(&cat, 0, 2), ta);
-        prop_assert_eq!(kernels::slice_last(&cat, 2, 3), tb);
+        assert_eq!(kernels::slice_last(&cat, 0, 2), ta);
+        assert_eq!(kernels::slice_last(&cat, 2, 3), tb);
     }
 
     /// gather/scatter are adjoint: ⟨gather(W), G⟩ = ⟨W, scatter(G)⟩.
-    #[test]
     fn gather_scatter_adjoint(
         w in finite_vec(10),
         gsel in finite_vec(6),
-        idx in prop::collection::vec(0usize..5, 3),
+        idx in gens::vec_exact(gens::usizes(0, 5), 3),
     ) {
         let tw = Tensor::new(w, &[5, 2]);
         let tg = Tensor::new(gsel, &[3, 2]);
@@ -94,26 +88,24 @@ proptest! {
         let lhs: f32 = fwd.data().iter().zip(tg.data()).map(|(x, y)| x * y).sum();
         let bwd = kernels::scatter_rows(&[5, 2], &idx, &tg);
         let rhs: f32 = tw.data().iter().zip(bwd.data()).map(|(x, y)| x * y).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
     }
 
     /// Autograd linearity: d(sum(c·x))/dx = c everywhere.
-    #[test]
-    fn gradient_of_linear_is_exact(data in finite_vec(6), c in -3.0f32..3.0) {
+    fn gradient_of_linear_is_exact(data in finite_vec(6), c in gens::f32s(-3.0, 3.0)) {
         let mut g = Graph::new();
         let x = g.param(Tensor::new(data, &[6]));
         let y = g.scale(x, c);
         let loss = g.sum_all(y);
         let grads = g.backward(loss);
         for &gv in grads.get(x).unwrap().data() {
-            prop_assert!((gv - c).abs() < 1e-5);
+            assert!((gv - c).abs() < 1e-5);
         }
     }
 
     /// The chain rule through exp/ln composes to identity gradient where
     /// defined: d(sum(ln(exp(x))))/dx = 1.
-    #[test]
-    fn ln_exp_inverse_gradient(data in prop::collection::vec(-3.0f32..3.0, 5)) {
+    fn ln_exp_inverse_gradient(data in gens::vec_exact(gens::f32s(-3.0, 3.0), 5)) {
         let mut g = Graph::new();
         let x = g.param(Tensor::new(data, &[5]));
         let e = g.exp(x);
@@ -121,31 +113,29 @@ proptest! {
         let loss = g.sum_all(l);
         let grads = g.backward(loss);
         for &gv in grads.get(x).unwrap().data() {
-            prop_assert!((gv - 1.0).abs() < 1e-3, "grad {gv}");
+            assert!((gv - 1.0).abs() < 1e-3, "grad {gv}");
         }
     }
 
     /// sum_time equals explicit per-step accumulation.
-    #[test]
     fn sum_time_matches_manual(data in finite_vec(24)) {
         let t = Tensor::new(data, &[2, 3, 4]);
         let s = kernels::sum_time(&t);
         for b in 0..2 {
             for d in 0..4 {
                 let manual: f32 = (0..3).map(|ti| t.data()[(b * 3 + ti) * 4 + d]).sum();
-                prop_assert!((s.data()[b * 4 + d] - manual).abs() < 1e-4);
+                assert!((s.data()[b * 4 + d] - manual).abs() < 1e-4);
             }
         }
     }
 
     /// LayerNorm output is exactly standardised when gamma=1, beta=0.
-    #[test]
     fn layer_norm_standardises(data in finite_vec(16)) {
         let t = Tensor::new(data, &[2, 8]);
         let y = kernels::layer_norm(&t, &Tensor::ones(&[8]), &Tensor::zeros(&[8]));
         for row in y.data().chunks(8) {
             let mean: f32 = row.iter().sum::<f32>() / 8.0;
-            prop_assert!(mean.abs() < 1e-3);
+            assert!(mean.abs() < 1e-3);
         }
     }
 }

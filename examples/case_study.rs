@@ -16,9 +16,19 @@ fn main() {
     let (dataset, split) = prepare(&raw, 50, 3);
     let graph = build_graph(&dataset, &GraphConfig::default());
 
-    let cfg = SsdRecConfig { dim: 16, max_len: 50, backbone: BackboneKind::SasRec, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 16,
+        max_len: 50,
+        backbone: BackboneKind::SasRec,
+        ..SsdRecConfig::default()
+    };
     let mut model = SsdRec::new(&graph, cfg);
-    let tc = TrainConfig { epochs: 12, batch_size: 64, patience: 4, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 12,
+        batch_size: 64,
+        patience: 4,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &split, &tc);
     println!("trained: test HR@20 {:.4}\n", report.test.hr20);
 

@@ -49,14 +49,24 @@ fn main() {
     let noisy = inject_unobserved(&raw, 60, 2, 7);
     let (dataset, split) = prepare(&noisy, 50, 2);
     let graph = build_graph(&dataset, &GraphConfig::default());
-    let tc = TrainConfig { epochs: 12, batch_size: 64, patience: 12, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 12,
+        batch_size: 64,
+        patience: 12,
+        ..TrainConfig::default()
+    };
 
     println!("training HSD (intra-sequence signals only) …");
     let mut hsd = Hsd::new(dataset.num_users, dataset.num_items, 16, 50, 7);
     train(&mut hsd, &split, &tc);
 
     println!("training SSDRec (inter-sequence graph priors) …\n");
-    let cfg = SsdRecConfig { dim: 16, max_len: 50, backbone: BackboneKind::SasRec, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 16,
+        max_len: 50,
+        backbone: BackboneKind::SasRec,
+        ..SsdRecConfig::default()
+    };
     let mut ssdrec = SsdRec::new(&graph, cfg);
     train(&mut ssdrec, &split, &tc);
 

@@ -13,7 +13,12 @@ fn main() {
     let raw = SyntheticConfig::sports().scaled(0.35).generate();
     let (dataset, split) = prepare(&raw, 50, 2);
     let graph = build_graph(&dataset, &GraphConfig::default());
-    let tc = TrainConfig { epochs: 18, batch_size: 64, patience: 6, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 18,
+        batch_size: 64,
+        patience: 6,
+        ..TrainConfig::default()
+    };
 
     println!(
         "{:<10} {:>12} {:>12} {:>12}",
@@ -25,7 +30,12 @@ fn main() {
         let base_report = train(&mut base, &split, &tc);
 
         // The same backbone inside SSDRec.
-        let cfg = SsdRecConfig { dim: 16, max_len: 50, backbone: kind, ..SsdRecConfig::default() };
+        let cfg = SsdRecConfig {
+            dim: 16,
+            max_len: 50,
+            backbone: kind,
+            ..SsdRecConfig::default()
+        };
         let mut wrapped = SsdRec::new(&graph, cfg);
         let wrapped_report = train(&mut wrapped, &split, &tc);
 

@@ -32,7 +32,10 @@ fn main() {
 
     // 3. The multi-relation graph G (paper §III-A) — stage-1 prior knowledge.
     let graph = build_graph(&dataset, &GraphConfig::default());
-    println!("multi-relation graph: {} edges across 5 relation types", graph.total_edges());
+    println!(
+        "multi-relation graph: {} edges across 5 relation types",
+        graph.total_edges()
+    );
 
     // 4. SSDRec with a SASRec backbone.
     let cfg = SsdRecConfig {
@@ -44,7 +47,13 @@ fn main() {
     let mut model = SsdRec::new(&graph, cfg);
 
     // 5. Train with early stopping on validation HR@20.
-    let tc = TrainConfig { epochs: 12, batch_size: 64, patience: 4, verbose: true, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 12,
+        batch_size: 64,
+        patience: 4,
+        verbose: true,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &split, &tc);
 
     println!("\ntrained {} epochs (early stopping)", report.epochs_run);

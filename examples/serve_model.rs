@@ -15,11 +15,24 @@ fn main() {
     let graph = build_graph(&dataset, &GraphConfig::default());
 
     // Train.
-    let cfg = SsdRecConfig { dim: 16, max_len: 50, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 16,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let mut model = SsdRec::new(&graph, cfg.clone());
-    let tc = TrainConfig { epochs: 10, batch_size: 64, patience: 4, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 10,
+        batch_size: 64,
+        patience: 4,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &split, &tc);
-    println!("trained: test HR@20 {:.4} ({} parameters)", report.test.hr20, model.store.num_scalars());
+    println!(
+        "trained: test HR@20 {:.4} ({} parameters)",
+        report.test.hr20,
+        model.store.num_scalars()
+    );
 
     // Checkpoint.
     let path = std::env::temp_dir().join("ssdrec_demo.ssdt");
@@ -37,8 +50,18 @@ fn main() {
     println!("ground-truth next item: {}", ex.target);
     println!("top-5 recommendations:");
     for (rank, (item, score)) in recs.iter().enumerate() {
-        let marker = if *item == ex.target { "  ← ground truth" } else { "" };
-        println!("  {}. item {:>4}  score {:+.3}{}", rank + 1, item, score, marker);
+        let marker = if *item == ex.target {
+            "  ← ground truth"
+        } else {
+            ""
+        };
+        println!(
+            "  {}. item {:>4}  score {:+.3}{}",
+            rank + 1,
+            item,
+            score,
+            marker
+        );
     }
 
     // Sanity: reloaded model agrees with the trained one exactly.

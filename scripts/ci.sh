@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Offline-first CI gate for the SSDRec workspace.
+#
+#   1. Deny-list: no Cargo.toml may name a registry dependency — only
+#      workspace path crates (ssdrec-*) are allowed.
+#   2. cargo fmt --check
+#   3. Offline release build of the whole workspace.
+#   4. Offline test run.
+#   5. Bench binaries smoke-run in fast mode (1 iteration each).
+#
+# Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
+# registry fails the build immediately.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== registry-dependency deny-list =="
+# Collect dependency names from every [*dependencies] section. A dependency
+# is acceptable only if it is an ssdrec-* path crate (directly or via
+# workspace = true).
+fail=0
+while IFS= read -r manifest; do
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/ || $0 ~ /dependencies\./) }
+        in_deps && /^[A-Za-z0-9_-]+[ \t]*=/ {
+            split($0, kv, "=");
+            gsub(/[ \t]/, "", kv[1]);
+            print kv[1];
+        }
+    ' "$manifest")
+    for dep in $deps; do
+        case "$dep" in
+            ssdrec-*|version|edition|description) ;;
+            *)
+                echo "FORBIDDEN: registry dependency \`$dep\` in $manifest"
+                fail=1
+                ;;
+        esac
+    done
+done < <(find . -path ./target -prune -o -name Cargo.toml -print)
+if [ "$fail" -ne 0 ]; then
+    echo "deny-list check FAILED: the workspace must stay registry-free"
+    exit 1
+fi
+echo "ok: no registry dependencies"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== offline release build =="
+cargo build --release --workspace
+
+echo "== offline tests =="
+cargo test --workspace -q
+
+echo "== bench smoke (SSDREC_BENCH_FAST=1) =="
+SSDREC_BENCH_FAST=1 cargo bench --workspace -q >/dev/null
+
+echo "CI: all checks passed"

@@ -21,17 +21,27 @@ fn text_log_to_trained_model() {
     let ds = parse_interactions(&log, &LoadOptions::csv_triples()).unwrap();
     assert_eq!(ds.num_users, 12);
     let (filtered, split) = prepare(&ds, 50, 2);
-    assert!(!split.test.is_empty(), "log should survive 5-core filtering");
+    assert!(
+        !split.test.is_empty(),
+        "log should survive 5-core filtering"
+    );
 
     let mut model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 0);
-    let cfg = TrainConfig { epochs: 2, batch_size: 16, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &split, &cfg);
     assert!(report.final_loss.is_finite());
 }
 
 #[test]
 fn bucketed_metrics_partition_the_test_set() {
-    let raw = SyntheticConfig::beauty().scaled(0.12).with_seed(8).generate();
+    let raw = SyntheticConfig::beauty()
+        .scaled(0.12)
+        .with_seed(8)
+        .generate();
     let (filtered, split) = prepare(&raw, 50, 2);
     let model = SeqRec::new(BackboneKind::SasRec, filtered.num_items, 8, 50, 1);
 
@@ -42,18 +52,29 @@ fn bucketed_metrics_partition_the_test_set() {
         buckets.push(ex.seq.len(), rank);
     }
     let total: usize = (0..buckets.num_buckets()).map(|i| buckets.count(i)).sum();
-    assert_eq!(total, split.test.len(), "buckets must partition the test set");
+    assert_eq!(
+        total,
+        split.test.len(),
+        "buckets must partition the test set"
+    );
 }
 
 #[test]
 fn serving_lists_feed_beyond_accuracy_metrics() {
-    let raw = SyntheticConfig::sports().scaled(0.1).with_seed(9).generate();
+    let raw = SyntheticConfig::sports()
+        .scaled(0.1)
+        .with_seed(9)
+        .generate();
     let (filtered, split) = prepare(&raw, 50, 2);
     let model = SeqRec::new(BackboneKind::Gru4Rec, filtered.num_items, 8, 50, 2);
 
     let mut acc = RecListAccumulator::new(filtered.num_items);
     for ex in split.test.iter().take(20) {
-        let items: Vec<usize> = model.recommend(ex.user, &ex.seq, 5).into_iter().map(|(i, _)| i).collect();
+        let items: Vec<usize> = model
+            .recommend(ex.user, &ex.seq, 5)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         acc.push(&items);
     }
     assert!(acc.coverage() > 0.0);

@@ -8,12 +8,19 @@ use ssdrec::metrics::OupAccumulator;
 use ssdrec::models::{train, RecModel, TrainConfig};
 
 fn tiny_split() -> (ssdrec::data::Dataset, ssdrec::data::Split) {
-    let raw = SyntheticConfig::sports().scaled(0.12).with_seed(5).generate();
+    let raw = SyntheticConfig::sports()
+        .scaled(0.12)
+        .with_seed(5)
+        .generate();
     prepare(&raw, 50, 2)
 }
 
 fn tc() -> TrainConfig {
-    TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() }
+    TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..TrainConfig::default()
+    }
 }
 
 #[test]
@@ -57,19 +64,34 @@ fn keep_scores_align_with_decisions_length() {
     let seq: Vec<usize> = (1..=7).map(|i| (i % ds.num_items) + 1).collect();
     for (name, scores, decisions) in [
         ("hsd", hsd.keep_scores(&seq, 0), hsd.keep_decisions(&seq, 0)),
-        ("steam", steam.keep_scores(&seq, 0), steam.keep_decisions(&seq, 0)),
-        ("dsan", dsan.keep_scores(&seq, 0), dsan.keep_decisions(&seq, 0)),
+        (
+            "steam",
+            steam.keep_scores(&seq, 0),
+            steam.keep_decisions(&seq, 0),
+        ),
+        (
+            "dsan",
+            dsan.keep_scores(&seq, 0),
+            dsan.keep_decisions(&seq, 0),
+        ),
     ] {
         assert_eq!(scores.len(), seq.len(), "{name} scores");
         assert_eq!(decisions.len(), seq.len(), "{name} decisions");
-        assert!(scores.iter().all(|s| s.is_finite()), "{name} non-finite score");
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "{name} non-finite score"
+        );
     }
 }
 
 #[test]
 fn oup_measurement_pipeline_runs() {
     // The full Fig. 1 wiring: inject noise → train → measure OUP.
-    let raw = SyntheticConfig::beauty().scaled(0.12).with_noise_ratio(0.0).with_seed(9).generate();
+    let raw = SyntheticConfig::beauty()
+        .scaled(0.12)
+        .with_noise_ratio(0.0)
+        .with_seed(9)
+        .generate();
     let noisy = inject_unobserved(&raw, 40, 2, 9);
     let (ds, split) = prepare(&noisy, 50, 2);
     let mut hsd = Hsd::new(ds.num_users, ds.num_items, 8, 50, 2);

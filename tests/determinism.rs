@@ -8,21 +8,41 @@ use ssdrec::graph::{build_graph, GraphConfig};
 use ssdrec::models::{train, TrainConfig};
 
 fn run_pipeline(seed: u64) -> (Vec<usize>, f64, f64) {
-    let raw = SyntheticConfig::sports().scaled(0.1).with_seed(seed).generate();
+    let raw = SyntheticConfig::sports()
+        .scaled(0.1)
+        .with_seed(seed)
+        .generate();
     let (dataset, split) = prepare(&raw, 50, 2);
     let graph = build_graph(&dataset, &GraphConfig::default());
-    let cfg = SsdRecConfig { dim: 8, max_len: 50, seed, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        seed,
+        ..SsdRecConfig::default()
+    };
     let mut model = SsdRec::new(&graph, cfg);
-    let tc = TrainConfig { epochs: 2, batch_size: 32, seed, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        seed,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &split, &tc);
-    (report.test_ranks.clone(), report.test.hr20, report.test.mrr20)
+    (
+        report.test_ranks.clone(),
+        report.test.hr20,
+        report.test.mrr20,
+    )
 }
 
 #[test]
 fn identical_seeds_produce_identical_results() {
     let (ranks_a, hr_a, mrr_a) = run_pipeline(11);
     let (ranks_b, hr_b, mrr_b) = run_pipeline(11);
-    assert_eq!(ranks_a, ranks_b, "per-example ranks diverged under the same seed");
+    assert_eq!(
+        ranks_a, ranks_b,
+        "per-example ranks diverged under the same seed"
+    );
     assert_eq!(hr_a, hr_b);
     assert_eq!(mrr_a, mrr_b);
 }
@@ -31,5 +51,8 @@ fn identical_seeds_produce_identical_results() {
 fn different_seeds_produce_different_results() {
     let (ranks_a, _, _) = run_pipeline(11);
     let (ranks_b, _, _) = run_pipeline(12);
-    assert_ne!(ranks_a, ranks_b, "results identical across seeds — RNG not wired through");
+    assert_ne!(
+        ranks_a, ranks_b,
+        "results identical across seeds — RNG not wired through"
+    );
 }

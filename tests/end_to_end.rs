@@ -7,8 +7,15 @@ use ssdrec::data::{prepare, SyntheticConfig};
 use ssdrec::graph::{build_graph, GraphConfig};
 use ssdrec::models::{evaluate, train, BackboneKind, RecModel, TrainConfig};
 
-fn tiny_setup() -> (ssdrec::data::Dataset, ssdrec::data::Split, ssdrec::graph::MultiRelationGraph) {
-    let raw = SyntheticConfig::beauty().scaled(0.12).with_seed(11).generate();
+fn tiny_setup() -> (
+    ssdrec::data::Dataset,
+    ssdrec::data::Split,
+    ssdrec::graph::MultiRelationGraph,
+) {
+    let raw = SyntheticConfig::beauty()
+        .scaled(0.12)
+        .with_seed(11)
+        .generate();
     let (dataset, split) = prepare(&raw, 50, 2);
     let graph = build_graph(&dataset, &GraphConfig::default());
     (dataset, split, graph)
@@ -17,9 +24,18 @@ fn tiny_setup() -> (ssdrec::data::Dataset, ssdrec::data::Split, ssdrec::graph::M
 #[test]
 fn ssdrec_trains_and_beats_random_ranking() {
     let (dataset, split, graph) = tiny_setup();
-    let cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let mut model = SsdRec::new(&graph, cfg);
-    let tc = TrainConfig { epochs: 4, batch_size: 32, patience: 10, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        patience: 10,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &split, &tc);
     assert!(report.final_loss.is_finite());
     let random_hr20 = 20.0 / dataset.num_items as f64;
@@ -34,9 +50,17 @@ fn ssdrec_trains_and_beats_random_ranking() {
 #[test]
 fn trained_model_is_reusable_for_evaluation() {
     let (_dataset, split, graph) = tiny_setup();
-    let cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let mut model = SsdRec::new(&graph, cfg);
-    let tc = TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &split, &tc);
     // Re-evaluating the restored model reproduces the reported test metrics.
     let acc = evaluate(&model, &split.test, 32);
@@ -47,8 +71,16 @@ fn trained_model_is_reusable_for_evaluation() {
 #[test]
 fn ablation_variants_all_run_end_to_end() {
     let (_dataset, split, graph) = tiny_setup();
-    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
-    for (s1, s2, s3) in [(false, true, true), (true, false, true), (true, true, false)] {
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    for (s1, s2, s3) in [
+        (false, true, true),
+        (true, false, true),
+        (true, true, false),
+    ] {
         let cfg = SsdRecConfig {
             dim: 8,
             max_len: 50,
@@ -59,20 +91,38 @@ fn ablation_variants_all_run_end_to_end() {
         };
         let mut model = SsdRec::new(&graph, cfg);
         let report = train(&mut model, &split, &tc);
-        assert!(report.final_loss.is_finite(), "variant ({s1},{s2},{s3}) diverged");
-        assert!(!model.store.any_non_finite(), "variant ({s1},{s2},{s3}) has NaN params");
+        assert!(
+            report.final_loss.is_finite(),
+            "variant ({s1},{s2},{s3}) diverged"
+        );
+        assert!(
+            !model.store.any_non_finite(),
+            "variant ({s1},{s2},{s3}) has NaN params"
+        );
     }
 }
 
 #[test]
 fn keep_decisions_and_explain_work_after_training() {
     let (_dataset, split, graph) = tiny_setup();
-    let cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let mut model = SsdRec::new(&graph, cfg);
-    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     train(&mut model, &split, &tc);
 
-    let ex = split.test.iter().find(|e| e.seq.len() >= 4).expect("a long-enough test example");
+    let ex = split
+        .test
+        .iter()
+        .find(|e| e.seq.len() >= 4)
+        .expect("a long-enough test example");
     let kept = model.keep_decisions_for(&ex.seq, ex.user);
     assert_eq!(kept.len(), ex.seq.len());
 
@@ -86,12 +136,25 @@ fn keep_decisions_and_explain_work_after_training() {
 fn backbone_plug_in_compatibility() {
     // Every backbone must run inside SSDRec for at least one step.
     let (_dataset, split, graph) = tiny_setup();
-    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     for kind in BackboneKind::all() {
-        let cfg = SsdRecConfig { dim: 8, max_len: 50, backbone: kind, ..SsdRecConfig::default() };
+        let cfg = SsdRecConfig {
+            dim: 8,
+            max_len: 50,
+            backbone: kind,
+            ..SsdRecConfig::default()
+        };
         let mut model = SsdRec::new(&graph, cfg);
         let report = train(&mut model, &split, &tc);
-        assert!(report.final_loss.is_finite(), "{} inside SSDRec diverged", kind.name());
+        assert!(
+            report.final_loss.is_finite(),
+            "{} inside SSDRec diverged",
+            kind.name()
+        );
         assert!(model.model_name().starts_with("SSDRec"));
     }
 }

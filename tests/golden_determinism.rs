@@ -1,0 +1,52 @@
+//! Golden determinism: a fixed seed, a tiny synthetic dataset and two
+//! training epochs must reproduce *exactly* the HR@10 / NDCG@10 recorded
+//! here. This pins the full pipeline — testkit RNG stream, data generation,
+//! graph construction, training order, evaluation — across refactors; see
+//! the stream-stability contract in `ssdrec_testkit::rng`.
+//!
+//! If this test fails after an intentional RNG or pipeline change, rerun
+//! with `--nocapture`, verify the change is deliberate, and update the
+//! golden values together with a CHANGES.md note.
+
+use ssdrec::core::{SsdRec, SsdRecConfig};
+use ssdrec::data::{prepare, SyntheticConfig};
+use ssdrec::graph::{build_graph, GraphConfig};
+use ssdrec::models::{train, TrainConfig};
+
+const GOLDEN_HR10: f64 = 0.6071428571428571;
+const GOLDEN_NDCG10: f64 = 0.3714333486875927;
+
+#[test]
+fn fixed_seed_two_epochs_reproduces_golden_metrics() {
+    let raw = SyntheticConfig::sports()
+        .scaled(0.08)
+        .with_seed(7)
+        .generate();
+    let (dataset, split) = prepare(&raw, 50, 2);
+    let graph = build_graph(&dataset, &GraphConfig::default());
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        seed: 7,
+        ..SsdRecConfig::default()
+    };
+    let mut model = SsdRec::new(&graph, cfg);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+    let report = train(&mut model, &split, &tc);
+
+    println!("hr10 = {:?}", report.test.hr10);
+    println!("ndcg10 = {:?}", report.test.ndcg10);
+    assert_eq!(
+        report.test.hr10, GOLDEN_HR10,
+        "HR@10 drifted from the golden value — the RNG stream or pipeline changed"
+    );
+    assert_eq!(
+        report.test.ndcg10, GOLDEN_NDCG10,
+        "NDCG@10 drifted from the golden value — the RNG stream or pipeline changed"
+    );
+}

@@ -17,9 +17,17 @@ fn setup() -> (ssdrec::data::Split, ssdrec::graph::MultiRelationGraph) {
 #[test]
 fn checkpoint_roundtrip_preserves_predictions() {
     let (split, graph) = setup();
-    let cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let mut model = SsdRec::new(&graph, cfg.clone());
-    let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     train(&mut model, &split, &tc);
 
     let path = std::env::temp_dir().join("ssdrec_it_roundtrip.ssdt");
@@ -39,12 +47,20 @@ fn checkpoint_roundtrip_preserves_predictions() {
 #[test]
 fn checkpoint_rejects_different_architecture() {
     let (_split, graph) = setup();
-    let cfg8 = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+    let cfg8 = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let model = SsdRec::new(&graph, cfg8);
     let path = std::env::temp_dir().join("ssdrec_it_arch.ssdt");
     save_params(&model.store, &path).unwrap();
 
-    let cfg16 = SsdRecConfig { dim: 16, max_len: 50, ..SsdRecConfig::default() };
+    let cfg16 = SsdRecConfig {
+        dim: 16,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let mut wrong = SsdRec::new(&graph, cfg16);
     assert!(load_params(&mut wrong.store, &path).is_err());
 }
@@ -52,12 +68,19 @@ fn checkpoint_rejects_different_architecture() {
 #[test]
 fn recommendations_exclude_pad_and_respect_k() {
     let (split, graph) = setup();
-    let cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let model = SsdRec::new(&graph, cfg);
     let ex = &split.test[0];
     let recs = model.recommend(ex.user, &ex.seq, 7);
     assert!(recs.len() <= 7);
-    assert!(recs.iter().all(|&(item, _)| item != 0), "pad item recommended");
+    assert!(
+        recs.iter().all(|&(item, _)| item != 0),
+        "pad item recommended"
+    );
     assert!(recs.iter().all(|&(_, s)| s.is_finite()));
 }
 
@@ -66,11 +89,21 @@ fn recommendations_exclude_pad_and_respect_k() {
 /// doubles the parameter count while the rest stays fixed.
 #[test]
 fn parameter_count_scales_with_catalogue() {
-    let small = SyntheticConfig::beauty().scaled(0.1).with_seed(1).generate();
-    let large = SyntheticConfig::beauty().scaled(0.2).with_seed(1).generate();
+    let small = SyntheticConfig::beauty()
+        .scaled(0.1)
+        .with_seed(1)
+        .generate();
+    let large = SyntheticConfig::beauty()
+        .scaled(0.2)
+        .with_seed(1)
+        .generate();
     let gs = build_graph(&small, &GraphConfig::default());
     let gl = build_graph(&large, &GraphConfig::default());
-    let cfg = SsdRecConfig { dim: 8, max_len: 50, ..SsdRecConfig::default() };
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        ..SsdRecConfig::default()
+    };
     let ms = SsdRec::new(&gs, cfg.clone());
     let ml = SsdRec::new(&gl, cfg);
 
@@ -79,6 +112,9 @@ fn parameter_count_scales_with_catalogue() {
     let emb_large = (large.num_items + 1 + large.num_users) * d;
     let fixed_small = ms.store.num_scalars() - emb_small;
     let fixed_large = ml.store.num_scalars() - emb_large;
-    assert_eq!(fixed_small, fixed_large, "non-embedding parameters should not scale with |V|+|U|");
+    assert_eq!(
+        fixed_small, fixed_large,
+        "non-embedding parameters should not scale with |V|+|U|"
+    );
     assert!(ml.store.num_scalars() > ms.store.num_scalars());
 }
