@@ -1,0 +1,239 @@
+//! Closed-loop load generator for the online serving subsystem.
+//!
+//! Trains a small SSDRec model, checkpoints it, serves the checkpoint on an
+//! ephemeral port, then drives it with several concurrent closed-loop HTTP
+//! clients (each waits for its response before sending the next request).
+//! Reports client-observed latency percentiles and throughput next to the
+//! server's own `/metrics` view, and writes a CSV latency report to
+//! `target/ssdrec-bench/`.
+//!
+//! `cargo run --release -p ssdrec-bench --bin bench_serve \
+//!     [--full] [--clients N] [--requests N]`
+//!
+//! `SSDREC_BENCH_FAST=1` (the CI smoke) shrinks everything to a few
+//! seconds.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ssdrec_bench::timed;
+use ssdrec_core::{SsdRec, SsdRecConfig};
+use ssdrec_data::{prepare, Split, SyntheticConfig};
+use ssdrec_graph::{build_graph, GraphConfig, MultiRelationGraph};
+use ssdrec_models::{train, BackboneKind, TrainConfig};
+use ssdrec_serve::{client, serve, Engine, EngineConfig, ServerStats};
+use ssdrec_tensor::{load_params, save_params};
+
+struct LoadConfig {
+    scale: f64,
+    epochs: usize,
+    clients: usize,
+    requests_per_client: usize,
+    max_len: usize,
+    dim: usize,
+}
+
+fn config() -> LoadConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = std::env::var("SSDREC_BENCH_FAST").is_ok_and(|v| v == "1");
+    let full = args.iter().any(|a| a == "--full");
+    let mut cfg = if fast {
+        LoadConfig {
+            scale: 0.03,
+            epochs: 1,
+            clients: 4,
+            requests_per_client: 8,
+            max_len: 12,
+            dim: 8,
+        }
+    } else if full {
+        LoadConfig {
+            scale: 0.35,
+            epochs: 5,
+            clients: 8,
+            requests_per_client: 100,
+            max_len: 50,
+            dim: 16,
+        }
+    } else {
+        LoadConfig {
+            scale: 0.1,
+            epochs: 2,
+            clients: 4,
+            requests_per_client: 40,
+            max_len: 20,
+            dim: 8,
+        }
+    };
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    if let Some(c) = flag("--clients") {
+        cfg.clients = c.max(1);
+    }
+    if let Some(r) = flag("--requests") {
+        cfg.requests_per_client = r.max(1);
+    }
+    cfg
+}
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/ssdrec-bench");
+    std::fs::create_dir_all(&dir).expect("create target/ssdrec-bench");
+    dir
+}
+
+fn checkpointed_world(cfg: &LoadConfig) -> (Split, MultiRelationGraph, PathBuf) {
+    let raw = SyntheticConfig::beauty()
+        .scaled(cfg.scale)
+        .with_seed(7)
+        .generate();
+    let (dataset, split) = prepare(&raw, cfg.max_len, 2);
+    assert!(!split.test.is_empty(), "load-test dataset has no sequences");
+    let graph = build_graph(&dataset, &GraphConfig::default());
+
+    let model_cfg = SsdRecConfig {
+        dim: cfg.dim,
+        max_len: cfg.max_len,
+        backbone: BackboneKind::SasRec,
+        seed: 7,
+        ..SsdRecConfig::default()
+    };
+    let mut model = SsdRec::new(&graph, model_cfg);
+    let (_, train_secs) = timed(|| {
+        train(
+            &mut model,
+            &split,
+            &TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: 64,
+                seed: 7,
+                ..TrainConfig::default()
+            },
+        )
+    });
+    println!("trained {} in {train_secs:.1}s", "SSDRec[SASRec]");
+
+    let ckpt = out_dir().join("serve_ckpt.ssdt");
+    save_params(&model.store, &ckpt).expect("write checkpoint");
+    (split, graph, ckpt)
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len()) - 1;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+fn drive_load(addr: SocketAddr, split: &Split, cfg: &LoadConfig) -> (Vec<u64>, f64) {
+    let examples: Arc<Vec<(usize, Vec<usize>)>> =
+        Arc::new(split.test.iter().map(|e| (e.user, e.seq.clone())).collect());
+    let wall = Instant::now();
+    let threads: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let examples = Arc::clone(&examples);
+            let n = cfg.requests_per_client;
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(n);
+                for r in 0..n {
+                    let (user, seq) = &examples[(c * 131 + r) % examples.len()];
+                    let body = format!(
+                        "{{\"user\":{user},\"seq\":[{}],\"k\":10}}",
+                        seq.iter()
+                            .map(|i| i.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    );
+                    let t0 = Instant::now();
+                    let (status, resp) = client::post(addr, "/recommend", &body).expect("request");
+                    latencies.push(t0.elapsed().as_micros() as u64);
+                    assert_eq!(status, 200, "client {c} req {r}: {resp}");
+                    assert!(
+                        resp.contains("\"items\":["),
+                        "client {c} req {r}: malformed {resp}"
+                    );
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut all: Vec<u64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread"))
+        .collect();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    all.sort_unstable();
+    (all, wall_secs)
+}
+
+fn main() {
+    let cfg = config();
+    let (split, graph, ckpt) = checkpointed_world(&cfg);
+
+    // Reload the checkpoint into a fresh model — the same path `ssdrec
+    // serve` takes — so the benchmark covers checkpoint I/O too.
+    let model_cfg = SsdRecConfig {
+        dim: cfg.dim,
+        max_len: cfg.max_len,
+        backbone: BackboneKind::SasRec,
+        seed: 7,
+        ..SsdRecConfig::default()
+    };
+    let mut served = SsdRec::new(&graph, model_cfg);
+    load_params(&mut served.store, &ckpt).expect("reload checkpoint");
+
+    let engine = Engine::new(
+        served.into(),
+        EngineConfig {
+            workers: 2,
+            max_batch: 32,
+            linger: Duration::from_millis(2),
+            cache_capacity: 256,
+            max_len: cfg.max_len,
+        },
+        Arc::new(ServerStats::new()),
+    );
+    let mut handle = serve(engine, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+    println!(
+        "serving on {addr}: {} clients × {} closed-loop requests",
+        cfg.clients, cfg.requests_per_client
+    );
+
+    let (latencies, wall_secs) = drive_load(addr, &split, &cfg);
+    let total = latencies.len();
+    let qps = total as f64 / wall_secs;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let mean = latencies.iter().sum::<u64>() as f64 / total.max(1) as f64 / 1000.0;
+
+    println!("client-observed over {total} requests in {wall_secs:.2}s:");
+    println!("  qps  : {qps:.1}");
+    println!("  mean : {mean:.2} ms");
+    println!("  p50  : {p50:.2} ms   p95: {p95:.2} ms   p99: {p99:.2} ms");
+
+    let (status, metrics) = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    println!("server /metrics: {metrics}");
+
+    let report = out_dir().join("serve_latency.csv");
+    let csv = format!(
+        "clients,requests,wall_secs,qps,mean_ms,p50_ms,p95_ms,p99_ms\n{},{},{:.3},{:.1},{:.3},{:.3},{:.3},{:.3}\n",
+        cfg.clients, total, wall_secs, qps, mean, p50, p95, p99
+    );
+    std::fs::write(&report, csv).expect("write latency report");
+    println!("latency report written to {}", report.display());
+
+    handle.shutdown();
+    std::fs::remove_file(&ckpt).ok();
+}

@@ -18,11 +18,26 @@ impl Args {
         let mut it = argv.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("bare \"--\" is not a valid option".into());
+                }
+                if let Some((k, v)) = key.split_once('=') {
+                    // Explicit `--key=value`: the only way to pass a value
+                    // that itself starts with `--`.
+                    if k.is_empty() {
+                        return Err(format!("missing option name in {a:?}"));
+                    }
+                    out.opts.insert(k.to_string(), v.to_string());
+                    continue;
+                }
                 match it.peek() {
                     Some(v) if !v.starts_with("--") => {
                         let v = it.next().expect("peeked");
                         out.opts.insert(key.to_string(), v);
                     }
+                    // The next token is another option (or nothing): treat
+                    // this one as a boolean flag. A value starting with
+                    // `--` must be spelled `--key=value`.
                     _ => out.flags.push(key.to_string()),
                 }
             } else if out.command.is_none() {
@@ -100,5 +115,36 @@ mod tests {
     fn flag_followed_by_flag() {
         let a = parse("train --quick --full");
         assert!(a.has_flag("quick") && a.has_flag("full"));
+    }
+
+    #[test]
+    fn equals_syntax_carries_values() {
+        let a = parse("train --scale=0.25 --out=ckpt.ssdt");
+        assert_eq!(a.get("scale"), Some("0.25"));
+        assert_eq!(a.get("out"), Some("ckpt.ssdt"));
+    }
+
+    #[test]
+    fn equals_syntax_allows_dashdash_values() {
+        // Space-separated, a value starting with `--` would be mistaken
+        // for the next option; `=` passes it through unambiguously.
+        let a = parse("train --out=--strange-name --verbose");
+        assert_eq!(a.get("out"), Some("--strange-name"));
+        assert!(a.has_flag("verbose"));
+        let b = parse("train --out --strange-name");
+        assert_eq!(b.get("out"), None, "space form cannot carry -- values");
+        assert!(b.has_flag("out") && b.has_flag("strange-name"));
+    }
+
+    #[test]
+    fn empty_value_via_equals() {
+        let a = parse("train --note=");
+        assert_eq!(a.get("note"), Some(""));
+    }
+
+    #[test]
+    fn bare_double_dash_is_rejected() {
+        assert!(Args::parse(["train".to_string(), "--".to_string()]).is_err());
+        assert!(Args::parse(["train".to_string(), "--=x".to_string()]).is_err());
     }
 }

@@ -7,6 +7,8 @@
 //!                  [--baseline] [--out CKPT] [--verbose]
 //! ssdrec recommend --model CKPT --user U [--k K] (same data/arch flags as train)
 //! ssdrec denoise   (same data/arch flags as train) [--user U]
+//! ssdrec serve     --model CKPT [--addr HOST:PORT] [--workers N] [--max-batch B]
+//!                  [--linger-ms MS] [--cache N] (same data/arch flags as train)
 //! ```
 //!
 //! `--baseline` trains the bare backbone instead of wrapping it in SSDRec.
@@ -21,10 +23,12 @@ use ssdrec_data::{load_interactions, prepare, Dataset, LoadOptions, Split, Synth
 use ssdrec_denoise::Denoiser;
 use ssdrec_graph::{build_graph, GraphConfig, MultiRelationGraph};
 use ssdrec_models::{train, BackboneKind, RecModel, SeqRec, TrainConfig};
+use ssdrec_serve::{Engine, EngineConfig, InferenceModel, ServerStats};
 use ssdrec_tensor::{load_params, save_params};
+use std::sync::Arc;
 
 fn usage() -> &'static str {
-    "usage: ssdrec <stats|train|recommend|denoise> [options]\n\
+    "usage: ssdrec <stats|train|recommend|denoise|serve> [options]\n\
      run `ssdrec <command> --help`-style flags per the module docs; common options:\n\
      --profile beauty|sports|yelp|ml-100k|ml-1m   synthetic profile (default beauty)\n\
      --file PATH --format movielens|csv           load real interaction data instead\n\
@@ -32,8 +36,9 @@ fn usage() -> &'static str {
      --dim D --epochs E --batch-size B --max-len L --seed S\n\
      --baseline      train the bare backbone (no SSDRec wrapper)\n\
      --out CKPT      write a checkpoint after training\n\
-     --model CKPT    checkpoint to load (recommend)\n\
-     --user U --k K  serving target (recommend)"
+     --model CKPT    checkpoint to load (recommend, serve)\n\
+     --user U --k K  serving target (recommend)\n\
+     --addr HOST:PORT --workers N --max-batch B --linger-ms MS --cache N (serve)"
 }
 
 fn load_dataset(a: &Args) -> Result<Dataset, String> {
@@ -238,6 +243,48 @@ fn cmd_denoise(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let prep = prepare_data(a)?;
+    let ckpt = a
+        .get("model")
+        .ok_or("serve requires --model CKPT (train one with `ssdrec train --out ...`)")?;
+    let model: InferenceModel = if a.has_flag("baseline") {
+        let mut m = SeqRec::new(
+            backbone(a)?,
+            prep.dataset.num_items,
+            a.get_parse("dim", 16)?,
+            prep.max_len,
+            a.get_parse("seed", 7)?,
+        );
+        load_params(&mut m.store, ckpt).map_err(|e| e.to_string())?;
+        m.into()
+    } else {
+        let mut m = build_ssdrec(a, &prep)?;
+        load_params(&mut m.store, ckpt).map_err(|e| e.to_string())?;
+        m.into()
+    };
+    println!("loaded checkpoint {ckpt} ({})", model.model_name());
+
+    let cfg = EngineConfig {
+        workers: a.get_parse("workers", 2)?,
+        max_batch: a.get_parse("max-batch", 32)?,
+        linger: std::time::Duration::from_millis(a.get_parse("linger-ms", 2)?),
+        cache_capacity: a.get_parse("cache", 1024)?,
+        max_len: prep.max_len,
+    };
+    let engine = Engine::new(model, cfg, Arc::new(ServerStats::new()));
+    let addr = a.get_or("addr", "127.0.0.1:7878");
+    let handle = ssdrec_serve::serve(engine, addr).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", handle.addr());
+    println!("  GET  /health");
+    println!("  GET  /recommend?user=U&seq=1,2,3&k=10   (or POST a JSON body)");
+    println!("  GET  /metrics");
+    println!("  POST /shutdown");
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -251,6 +298,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args),
         Some("recommend") => cmd_recommend(&args),
         Some("denoise") => cmd_denoise(&args),
+        Some("serve") => cmd_serve(&args),
         _ => {
             eprintln!("{}", usage());
             return ExitCode::FAILURE;

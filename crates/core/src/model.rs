@@ -116,6 +116,7 @@ pub struct SsdRec {
     pub tau: f32,
     steps: u64,
     num_items: usize,
+    num_users: usize,
     /// Whether stage-2 augmentation is currently active (it warms up after
     /// `cfg.aug_warmup_frac` of training so the selectors operate on
     /// meaningful representations).
@@ -130,6 +131,24 @@ struct GateInfo {
     h_seq: Var,
     /// The graph-coherence prior, if stage 1 is active.
     prior: Option<Var>,
+}
+
+/// Request-independent graph nodes for frozen serving: the relation-encoded
+/// item/user tables (running the stage-1 global relation encoder is the
+/// expensive, input-independent part of SSDRec's eval pass), the transposed
+/// scorer, and the pad mask. Produced once per worker by
+/// [`SsdRec::precompute_frozen`] below a [`Graph::mark`]; consumed per
+/// request by [`SsdRec::eval_scores_frozen`].
+pub struct FrozenTables {
+    /// Relation-encoded (or raw, when stage 1 is ablated) item table
+    /// `(V+1)×d`.
+    pub items: Var,
+    /// Relation-encoded (or raw) user table.
+    pub users: Var,
+    /// `items` transposed to `d×(V+1)` for the tied-weight scorer.
+    pub items_t: Var,
+    /// The `[V+1]` additive mask row with `−1e9` at the pad index.
+    pub pad_mask: Var,
 }
 
 /// A per-example trace for the paper's Fig. 4 case study.
@@ -194,6 +213,7 @@ impl SsdRec {
             tau,
             steps: 0,
             num_items: mg.num_items,
+            num_users: mg.num_users.max(1),
             aug_active: false,
         }
     }
@@ -201,6 +221,12 @@ impl SsdRec {
     /// Number of real items.
     pub fn num_items(&self) -> usize {
         self.num_items
+    }
+
+    /// Number of rows in the user-embedding table (valid user IDs are
+    /// `0..num_users`); serving validates requests against this.
+    pub fn num_users(&self) -> usize {
+        self.num_users
     }
 
     /// The graph-coherence keep prior for a batch (`B×T` constant in
@@ -351,6 +377,48 @@ impl SsdRec {
         };
         let h_s = self.backbone.encode(g, bind, h_in);
         self.score_repr(g, items, h_s)
+    }
+
+    /// Precompute the request-independent pieces of the frozen serving
+    /// forward pass. Must be called on the same graph (below the
+    /// [`Graph::mark`]) as later [`SsdRec::eval_scores_frozen`] calls.
+    pub fn precompute_frozen(&self, g: &mut Graph, bind: &Binding) -> FrozenTables {
+        let (items, users) = self.tables(g, bind);
+        let items_t = g.transpose_last(items);
+        let mut mask = Tensor::zeros(&[self.num_items + 1]);
+        mask.data_mut()[0] = -1e9;
+        let pad_mask = g.constant(mask);
+        FrozenTables {
+            items,
+            users,
+            items_t,
+            pad_mask,
+        }
+    }
+
+    /// Frozen-serving forward: the same kernels in the same order as
+    /// [`RecModel::eval_scores`] (scores are bit-identical), except that the
+    /// stage-1 relation encoding and the scorer transpose come precomputed
+    /// from [`SsdRec::precompute_frozen`] instead of being re-derived per
+    /// request.
+    pub fn eval_scores_frozen(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        frozen: &FrozenTables,
+    ) -> Var {
+        let (h_seq, hu) = self.sequence_reprs(g, frozen.items, frozen.users, batch);
+        let prior = self.coherence_prior(g, batch);
+        let h_in = if self.cfg.stage3 {
+            let (denoised, _) = self.denoiser.denoise_eval(g, bind, h_seq, hu, prior);
+            denoised
+        } else {
+            h_seq
+        };
+        let h_s = self.backbone.encode(g, bind, h_in);
+        let logits = g.matmul(h_s, frozen.items_t);
+        g.add_bcast(logits, frozen.pad_mask)
     }
 
     /// Continuous keep probabilities over a raw sequence.

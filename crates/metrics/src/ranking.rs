@@ -23,6 +23,84 @@ pub fn full_rank(scores: &[f32], target: usize) -> usize {
     rank
 }
 
+/// One retrieved item: `(item ID, score)`.
+type Scored = (usize, f32);
+
+/// Entry ordering shared by [`top_k`] and [`full_rank`]: higher score wins,
+/// equal scores break pessimistically toward the lower item ID (so the item
+/// at position `p` of [`top_k`] has `full_rank == p + 1`). NaN scores are
+/// treated as equal to everything and resolved by ID; model scores are
+/// expected to be finite.
+fn better(a: Scored, b: Scored) -> bool {
+    match a.1.partial_cmp(&b.1) {
+        Some(std::cmp::Ordering::Greater) => true,
+        Some(std::cmp::Ordering::Less) => false,
+        _ => a.0 < b.0,
+    }
+}
+
+/// A min-heap entry wrapper: the heap root is the *worst* retained item.
+struct HeapEntry(Scored);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        !better(self.0, other.0) && !better(other.0, self.0)
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: a *better* item is "smaller" so BinaryHeap (a max-heap)
+        // keeps the worst retained item at the root for cheap eviction.
+        if better(self.0, other.0) {
+            std::cmp::Ordering::Less
+        } else if better(other.0, self.0) {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    }
+}
+
+/// Partial top-`k` selection over full-catalogue `scores` (index = item ID,
+/// index 0 = padding, never returned), using a bounded min-heap: `O(V log
+/// k)` instead of a full `O(V log V)` sort. Returns at most `k` items in
+/// descending score order with the same pessimistic tie rule as
+/// [`full_rank`] — ties go to the lower item ID, so the result is exactly
+/// the prefix of the full ranking.
+///
+/// Shared by offline evaluation (`RecModel::recommend` in `ssdrec-models`)
+/// and the online retrieval engine in `ssdrec-serve`.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<Scored> {
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    if k == 0 {
+        return Vec::new();
+    }
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if heap.len() < k {
+            heap.push(HeapEntry((i, s)));
+        } else if better((i, s), heap.peek().expect("non-empty").0) {
+            heap.pop();
+            heap.push(HeapEntry((i, s)));
+        }
+    }
+    let mut out: Vec<Scored> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_by(|&a, &b| {
+        if better(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    out
+}
+
 /// Accumulates ranking metrics over many evaluation examples.
 #[derive(Clone, Debug, Default)]
 pub struct RankingAccumulator {
@@ -202,6 +280,28 @@ mod tests {
         let scores = [0.0, 0.5, 0.5, 0.5];
         assert_eq!(full_rank(&scores, 3), 3);
         assert_eq!(full_rank(&scores, 1), 1);
+    }
+
+    #[test]
+    fn top_k_orders_and_skips_pad() {
+        let scores = [9.0, 0.9, 0.5, 0.7, 0.1];
+        assert_eq!(top_k(&scores, 3), vec![(1, 0.9), (3, 0.7), (2, 0.5)]);
+        assert_eq!(top_k(&scores, 0), vec![]);
+        assert_eq!(top_k(&scores, 100).len(), 4, "k clamps to catalogue");
+    }
+
+    #[test]
+    fn top_k_ties_break_to_lower_id() {
+        let scores = [0.0, 0.5, 0.7, 0.5, 0.5];
+        assert_eq!(top_k(&scores, 3), vec![(2, 0.7), (1, 0.5), (3, 0.5)]);
+    }
+
+    #[test]
+    fn top_k_positions_agree_with_full_rank() {
+        let scores = [0.0, 0.3, 0.3, 0.9, -0.2, 0.3, 0.9];
+        for (p, (item, _)) in top_k(&scores, 6).into_iter().enumerate() {
+            assert_eq!(full_rank(&scores, item), p + 1, "item {item}");
+        }
     }
 
     #[test]

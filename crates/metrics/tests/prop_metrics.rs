@@ -3,10 +3,42 @@
 
 use ssdrec_testkit::{gens, property};
 
-use ssdrec_metrics::{full_rank, t_two_sided_p, welch_t_test, OupAccumulator, RankingAccumulator};
+use ssdrec_metrics::{
+    full_rank, t_two_sided_p, top_k, welch_t_test, OupAccumulator, RankingAccumulator,
+};
 
 property! {
     cases = 64;
+
+    /// `top_k` equals the k-prefix of a full sort under the documented tie
+    /// rule (score descending, then item ID ascending), and each returned
+    /// position agrees with `full_rank`. Scores are drawn from a coarse
+    /// grid so ties actually occur.
+    fn top_k_matches_full_sort(
+        raw in gens::vecs(gens::usizes(0, 6), 2, 64),
+        k in gens::usizes(0, 20),
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&u| u as f32 * 0.5 - 1.0).collect();
+        let got = top_k(&scores, k);
+
+        let mut want: Vec<(usize, f32)> = scores
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &s)| (i, s))
+            .collect();
+        want.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        want.truncate(k);
+        assert_eq!(got, want);
+
+        for (p, &(item, _)) in got.iter().enumerate() {
+            assert_eq!(full_rank(&scores, item), p + 1);
+        }
+    }
 
     /// The rank of any target lies in [1, catalogue size].
     fn rank_bounds(

@@ -9,7 +9,11 @@
 use ssdrec_tensor::{Binding, Graph, Var};
 
 /// A sequential encoder `f_seq : B×T×d → B×d`.
-pub trait SeqEncoder {
+///
+/// `Send + Sync` is required so frozen models can be shared across the
+/// serving subsystem's worker threads; encoders hold only parameter
+/// handles and static configuration, never mutable state.
+pub trait SeqEncoder: Send + Sync {
     /// Encode a batch of item-representation sequences into one
     /// representation per sequence.
     fn encode(&self, g: &mut Graph, bind: &Binding, h_seq: Var) -> Var;

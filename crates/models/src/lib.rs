@@ -17,5 +17,5 @@ pub use backbones::{
     StampEncoder,
 };
 pub use encoder::{BackboneKind, SeqEncoder};
-pub use model::{build_encoder, Objective, RecModel, SeqRec};
+pub use model::{build_encoder, FrozenScorer, Objective, RecModel, SeqRec};
 pub use trainer::{evaluate, train, LrSchedule, TrainConfig, TrainReport};

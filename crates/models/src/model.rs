@@ -65,16 +65,9 @@ pub trait RecModel {
         let mut g = Graph::new();
         let bind = self.store().bind_all(&mut g);
         let scores = self.eval_scores(&mut g, &bind, &batch);
-        let row = g.value(scores).data();
-        let mut ranked: Vec<(usize, f32)> = row
-            .iter()
-            .enumerate()
-            .skip(1) // never recommend the pad item
-            .map(|(i, &s)| (i, s))
-            .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        ranked.truncate(k);
-        ranked
+        // Partial select shared with the serving engine; the pad item
+        // (index 0) is never returned and ties break to the lower item ID.
+        ssdrec_metrics::top_k(g.value(scores).data(), k)
     }
 }
 
@@ -98,6 +91,15 @@ pub enum Objective {
         /// Negatives sampled per example.
         negatives: usize,
     },
+}
+
+/// Request-independent graph nodes precomputed once for frozen serving
+/// (see [`SeqRec::precompute_frozen`]).
+pub struct FrozenScorer {
+    /// The transposed tied-weight scorer `Eᵀ`, shape `d×(V+1)`.
+    pub table_t: Var,
+    /// The `[V+1]` additive mask row with `−1e9` at the pad index.
+    pub pad_mask: Var,
 }
 
 /// A vanilla sequential recommender: embeddings → encoder → tied scorer.
@@ -162,6 +164,36 @@ impl SeqRec {
         mask.data_mut()[0] = -1e9;
         let mv = g.constant(mask);
         g.add_bcast(logits, mv)
+    }
+
+    /// Precompute the request-independent pieces of the frozen serving
+    /// forward pass: the transposed tied-weight scorer `Eᵀ` and the
+    /// pad-masking row. Bind the store into an inference graph once, call
+    /// this below the [`Graph::mark`], and feed the result to
+    /// [`SeqRec::eval_scores_frozen`] per request.
+    pub fn precompute_frozen(&self, g: &mut Graph, bind: &Binding) -> FrozenScorer {
+        let table = self.item_emb.table(bind);
+        let table_t = g.transpose_last(table); // d×(V+1)
+        let mut mask = Tensor::zeros(&[self.num_items + 1]);
+        mask.data_mut()[0] = -1e9;
+        let pad_mask = g.constant(mask);
+        FrozenScorer { table_t, pad_mask }
+    }
+
+    /// Frozen-serving forward: identical kernels (and therefore bit-identical
+    /// scores) to [`RecModel::eval_scores`], but scoring against the
+    /// precomputed transposed table instead of re-deriving it per request.
+    pub fn eval_scores_frozen(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        frozen: &FrozenScorer,
+    ) -> Var {
+        let h = self.embed_batch(g, bind, batch);
+        let h_s = self.encoder.encode(g, bind, h);
+        let logits = g.matmul(h_s, frozen.table_t);
+        g.add_bcast(logits, frozen.pad_mask)
     }
 
     /// Full forward for a batch; `rng` enables dropout (training mode).

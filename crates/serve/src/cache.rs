@@ -1,0 +1,188 @@
+//! Per-user session cache: the last recommendation computed for each user,
+//! evicted least-recently-used. A hit requires the *exact* same history and
+//! `k` — sequential recommenders are history-sensitive, so any change to the
+//! session invalidates the entry.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::engine::Recommendation;
+
+struct Entry {
+    seq: Vec<usize>,
+    k: usize,
+    rec: Arc<Recommendation>,
+    tick: u64,
+}
+
+/// An LRU map from user ID to their most recent recommendation.
+///
+/// Not internally synchronised — the engine wraps it in a `Mutex`. Eviction
+/// uses a lazy recency queue: each touch pushes a `(tick, user)` marker and
+/// stale markers are skipped during eviction, keeping both `get` and `put`
+/// O(1) amortised.
+pub struct SessionCache {
+    cap: usize,
+    map: HashMap<usize, Entry>,
+    queue: VecDeque<(u64, usize)>,
+    tick: u64,
+}
+
+impl SessionCache {
+    /// A cache holding at most `cap` users (`cap == 0` disables caching).
+    pub fn new(cap: usize) -> Self {
+        SessionCache {
+            cap,
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, user: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&user) {
+            e.tick = tick;
+        }
+        self.queue.push_back((tick, user));
+        // Bound the marker queue so repeated touches of few users cannot
+        // grow it without bound.
+        if self.queue.len() > self.cap.saturating_mul(4).max(16) {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        let map = &self.map;
+        self.queue
+            .retain(|&(tick, user)| map.get(&user).is_some_and(|e| e.tick == tick));
+    }
+
+    /// The cached recommendation for `user`, if their history and `k` are
+    /// unchanged since it was computed.
+    pub fn get(&mut self, user: usize, seq: &[usize], k: usize) -> Option<Arc<Recommendation>> {
+        if self.cap == 0 {
+            return None;
+        }
+        let hit = match self.map.get(&user) {
+            Some(e) if e.seq == seq && e.k == k => Some(Arc::clone(&e.rec)),
+            _ => None,
+        };
+        if hit.is_some() {
+            self.touch(user);
+        }
+        hit
+    }
+
+    /// Insert (or replace) `user`'s entry, evicting the least-recently-used
+    /// user when over capacity.
+    pub fn put(&mut self, user: usize, seq: Vec<usize>, k: usize, rec: Arc<Recommendation>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.map.insert(
+            user,
+            Entry {
+                seq,
+                k,
+                rec,
+                tick: 0,
+            },
+        );
+        self.touch(user);
+        while self.map.len() > self.cap {
+            match self.queue.pop_front() {
+                Some((tick, old)) => {
+                    if self.map.get(&old).is_some_and(|e| e.tick == tick) {
+                        self.map.remove(&old);
+                    }
+                }
+                None => {
+                    // Queue exhausted before shrinking below cap — cannot
+                    // happen (every resident entry has a live marker), but
+                    // degrade safely rather than loop forever.
+                    self.map.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of users currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: usize) -> Arc<Recommendation> {
+        Arc::new(Recommendation {
+            user,
+            k: 2,
+            items: vec![(1, 0.5), (2, 0.25)],
+            batch_size: 1,
+        })
+    }
+
+    #[test]
+    fn hit_requires_exact_seq_and_k() {
+        let mut c = SessionCache::new(4);
+        c.put(7, vec![1, 2, 3], 2, rec(7));
+        assert!(c.get(7, &[1, 2, 3], 2).is_some());
+        assert!(c.get(7, &[1, 2], 2).is_none(), "shorter history");
+        assert!(c.get(7, &[1, 2, 3, 4], 2).is_none(), "longer history");
+        assert!(c.get(7, &[1, 2, 3], 5).is_none(), "different k");
+        assert!(c.get(8, &[1, 2, 3], 2).is_none(), "different user");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = SessionCache::new(2);
+        c.put(1, vec![1], 1, rec(1));
+        c.put(2, vec![2], 1, rec(2));
+        assert!(c.get(1, &[1], 1).is_some()); // 1 now more recent than 2
+        c.put(3, vec![3], 1, rec(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2, &[2], 1).is_none(), "LRU user 2 evicted");
+        assert!(c.get(1, &[1], 1).is_some());
+        assert!(c.get(3, &[3], 1).is_some());
+    }
+
+    #[test]
+    fn replacing_a_user_does_not_grow() {
+        let mut c = SessionCache::new(2);
+        for i in 0..10 {
+            c.put(1, vec![i], 1, rec(1));
+        }
+        assert_eq!(c.len(), 1);
+        assert!(c.get(1, &[9], 1).is_some());
+        assert!(c.get(1, &[8], 1).is_none(), "stale history replaced");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = SessionCache::new(0);
+        c.put(1, vec![1], 1, rec(1));
+        assert!(c.is_empty());
+        assert!(c.get(1, &[1], 1).is_none());
+    }
+
+    #[test]
+    fn marker_queue_stays_bounded() {
+        let mut c = SessionCache::new(2);
+        c.put(1, vec![1], 1, rec(1));
+        for _ in 0..10_000 {
+            assert!(c.get(1, &[1], 1).is_some());
+        }
+        assert!(c.queue.len() <= 16, "queue {} entries", c.queue.len());
+    }
+}

@@ -1,0 +1,50 @@
+//! A minimal blocking HTTP client over `std::net`, used by the load
+//! generator, the CI smoke test, and the integration tests — the workspace
+//! has no `curl` dependency.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Issue one `Connection: close` request and return `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, response_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, response_body.to_string()))
+}
+
+/// `GET path` on a running server.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+    request(addr, "POST", path, Some(body))
+}

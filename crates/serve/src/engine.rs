@@ -1,0 +1,484 @@
+//! The inference engine: a frozen model behind an mpsc micro-batching queue.
+//!
+//! Each worker thread owns an inference-mode [`Graph`] (no tape, no gradient
+//! state) with the parameters bound **once** at startup and the
+//! request-independent graph nodes — stage-1 relation-encoded tables, the
+//! transposed tied-weight scorer, the pad mask — precomputed below a
+//! [`Graph::mark`]. Per request the worker appends only the activation nodes
+//! and truncates back to the mark afterwards, so steady-state serving
+//! allocates no parameter copies and no autograd bookkeeping.
+//!
+//! Scores are **bit-identical** to the offline
+//! [`RecModel::recommend`] path: the frozen forward runs the same kernels in
+//! the same order, batching is over equal-length rows only (the workspace's
+//! `Batch` invariant), and every kernel is row-independent.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ssdrec_core::{FrozenTables, SsdRec};
+use ssdrec_data::Batch;
+use ssdrec_models::{FrozenScorer, RecModel, SeqRec};
+use ssdrec_tensor::{Binding, Graph, ParamStore, Var};
+
+use crate::cache::SessionCache;
+use crate::stats::ServerStats;
+
+/// A servable model: SSDRec or a bare-backbone baseline.
+pub enum InferenceModel {
+    /// The full three-stage SSDRec model.
+    Ssd(SsdRec),
+    /// A vanilla backbone recommender (`--baseline` checkpoints).
+    Seq(SeqRec),
+}
+
+/// The per-worker precomputed request-independent graph nodes.
+enum Frozen {
+    Ssd(FrozenTables),
+    Seq(FrozenScorer),
+}
+
+impl From<SsdRec> for InferenceModel {
+    fn from(m: SsdRec) -> Self {
+        InferenceModel::Ssd(m)
+    }
+}
+
+impl From<SeqRec> for InferenceModel {
+    fn from(m: SeqRec) -> Self {
+        InferenceModel::Seq(m)
+    }
+}
+
+impl InferenceModel {
+    /// Catalogue size (valid item IDs are `1..=num_items`).
+    pub fn num_items(&self) -> usize {
+        match self {
+            InferenceModel::Ssd(m) => m.num_items(),
+            InferenceModel::Seq(m) => m.num_items(),
+        }
+    }
+
+    /// Number of valid user IDs, when the model embeds users (`None` means
+    /// any user ID is acceptable — bare backbones ignore the user).
+    pub fn num_users(&self) -> Option<usize> {
+        match self {
+            InferenceModel::Ssd(m) => Some(m.num_users()),
+            InferenceModel::Seq(_) => None,
+        }
+    }
+
+    /// Display name of the underlying model.
+    pub fn model_name(&self) -> String {
+        match self {
+            InferenceModel::Ssd(m) => m.model_name(),
+            InferenceModel::Seq(m) => m.model_name(),
+        }
+    }
+
+    /// The parameter store (for checkpoint loading before serving starts).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        match self {
+            InferenceModel::Ssd(m) => m.store_mut(),
+            InferenceModel::Seq(m) => m.store_mut(),
+        }
+    }
+
+    fn store(&self) -> &ParamStore {
+        match self {
+            InferenceModel::Ssd(m) => m.store(),
+            InferenceModel::Seq(m) => m.store(),
+        }
+    }
+
+    fn precompute(&self, g: &mut Graph, bind: &Binding) -> Frozen {
+        match self {
+            InferenceModel::Ssd(m) => Frozen::Ssd(m.precompute_frozen(g, bind)),
+            InferenceModel::Seq(m) => Frozen::Seq(m.precompute_frozen(g, bind)),
+        }
+    }
+
+    fn score(&self, g: &mut Graph, bind: &Binding, batch: &Batch, frozen: &Frozen) -> Var {
+        match (self, frozen) {
+            (InferenceModel::Ssd(m), Frozen::Ssd(f)) => m.eval_scores_frozen(g, bind, batch, f),
+            (InferenceModel::Seq(m), Frozen::Seq(f)) => m.eval_scores_frozen(g, bind, batch, f),
+            _ => unreachable!("frozen state built from this model"),
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads, each with its own frozen graph (≥ 1).
+    pub workers: usize,
+    /// Most requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker waits for more requests to coalesce after the
+    /// first one arrives.
+    pub linger: Duration,
+    /// Session-cache capacity in users (0 disables caching).
+    pub cache_capacity: usize,
+    /// Histories longer than this are truncated to their most recent
+    /// `max_len` items (must match the trained model's `max_len`).
+    pub max_len: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            max_batch: 32,
+            linger: Duration::from_millis(2),
+            cache_capacity: 1024,
+            max_len: 50,
+        }
+    }
+}
+
+/// One answered recommendation request.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The requesting user.
+    pub user: usize,
+    /// Requested list length.
+    pub k: usize,
+    /// `(item, score)` pairs, best first, pad item excluded, ties broken
+    /// to the lower item ID (the paper's pessimistic full-ranking rule).
+    pub items: Vec<(usize, f32)>,
+    /// Size of the forward-pass batch this request was coalesced into
+    /// (1 when it rode alone; cache hits report the batch size of the
+    /// request that originally computed the entry).
+    pub batch_size: usize,
+}
+
+struct Job {
+    user: usize,
+    seq: Vec<usize>,
+    k: usize,
+    resp: Sender<Arc<Recommendation>>,
+}
+
+/// The serving engine: validation + session cache in front of the worker
+/// pool. Shared across connection threads behind an `Arc`.
+pub struct Engine {
+    model: Arc<InferenceModel>,
+    cfg: EngineConfig,
+    tx: Mutex<Option<Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    cache: Mutex<SessionCache>,
+    stats: Arc<ServerStats>,
+}
+
+impl Engine {
+    /// Spin up the worker pool around a frozen model.
+    pub fn new(model: InferenceModel, cfg: EngineConfig, stats: Arc<ServerStats>) -> Engine {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.max_batch >= 1, "max_batch must be ≥ 1");
+        assert!(cfg.max_len >= 1, "max_len must be ≥ 1");
+        let model = Arc::new(model);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let model = Arc::clone(&model);
+                let rx = Arc::clone(&rx);
+                let stats = Arc::clone(&stats);
+                let (max_batch, linger) = (cfg.max_batch, cfg.linger);
+                std::thread::Builder::new()
+                    .name(format!("ssdrec-worker-{i}"))
+                    .spawn(move || worker_loop(&model, &rx, &stats, max_batch, linger))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Engine {
+            model,
+            cache: Mutex::new(SessionCache::new(cfg.cache_capacity)),
+            cfg,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            stats,
+        }
+    }
+
+    /// The shared stats the engine records into.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &InferenceModel {
+        &self.model
+    }
+
+    fn validate(&self, user: usize, seq: &[usize], k: usize) -> Result<(), String> {
+        if seq.is_empty() {
+            return Err("seq must be non-empty".into());
+        }
+        if k == 0 {
+            return Err("k must be ≥ 1".into());
+        }
+        let v = self.model.num_items();
+        if let Some(&bad) = seq.iter().find(|&&i| i == 0 || i > v) {
+            return Err(format!("item {bad} out of range 1..={v}"));
+        }
+        if let Some(u) = self.model.num_users() {
+            if user >= u {
+                return Err(format!("user {user} out of range 0..{u}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Answer one request: validate, consult the session cache, otherwise
+    /// enqueue for a batched forward pass and wait for the result.
+    pub fn recommend(
+        &self,
+        user: usize,
+        seq: &[usize],
+        k: usize,
+    ) -> Result<Arc<Recommendation>, String> {
+        let start = Instant::now();
+        if let Err(e) = self.validate(user, seq, k) {
+            self.stats.errors_total.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        // Serve from the most recent max_len items, the same window the
+        // model was trained on.
+        let seq = &seq[seq.len().saturating_sub(self.cfg.max_len)..];
+
+        if let Some(hit) = lock(&self.cache).get(user, seq, k) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .record_request(start.elapsed().as_micros() as u64);
+            return Ok(hit);
+        }
+
+        let tx = lock(&self.tx)
+            .as_ref()
+            .cloned()
+            .ok_or("engine is shut down")?;
+        let (resp_tx, resp_rx) = mpsc::channel();
+        tx.send(Job {
+            user,
+            seq: seq.to_vec(),
+            k,
+            resp: resp_tx,
+        })
+        .map_err(|_| "engine is shut down")?;
+        let rec = resp_rx
+            .recv()
+            .map_err(|_| "worker failed while scoring the request".to_string())?;
+
+        lock(&self.cache).put(user, seq.to_vec(), k, Arc::clone(&rec));
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .record_request(start.elapsed().as_micros() as u64);
+        Ok(rec)
+    }
+
+    /// Stop accepting work and join every worker. Idempotent.
+    pub fn shutdown(&self) {
+        lock(&self.tx).take();
+        let handles: Vec<_> = lock(&self.workers).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Lock a mutex, recovering the data from a poisoned lock (a panicked
+/// worker must not take the whole server down).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Block for the first job, then linger briefly to coalesce whatever else
+/// is queued, up to `max_batch`. Empty result means the channel closed.
+fn drain_jobs(rx: &Mutex<Receiver<Job>>, max_batch: usize, linger: Duration) -> Vec<Job> {
+    let rx = lock(rx);
+    let first = match rx.recv() {
+        Ok(j) => j,
+        Err(_) => return Vec::new(),
+    };
+    let mut jobs = vec![first];
+    let deadline = Instant::now() + linger;
+    while jobs.len() < max_batch {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            match rx.try_recv() {
+                Ok(j) => jobs.push(j),
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(left) {
+                Ok(j) => jobs.push(j),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    jobs
+}
+
+fn worker_loop(
+    model: &InferenceModel,
+    rx: &Mutex<Receiver<Job>>,
+    stats: &ServerStats,
+    max_batch: usize,
+    linger: Duration,
+) {
+    let mut g = Graph::inference();
+    let bind = model.store().bind_all(&mut g);
+    let frozen = model.precompute(&mut g, &bind);
+    let mark = g.mark();
+
+    loop {
+        let jobs = drain_jobs(rx, max_batch, linger);
+        if jobs.is_empty() {
+            return; // engine shut down
+        }
+        // The workspace batches equal-length sequences only (Batch is a
+        // dense B×T block with no padding), so group the coalesced jobs by
+        // history length and run one forward per group.
+        let mut groups: BTreeMap<usize, Vec<Job>> = BTreeMap::new();
+        for job in jobs {
+            groups.entry(job.seq.len()).or_default().push(job);
+        }
+        for (seq_len, group) in groups {
+            let batch = Batch {
+                users: group.iter().map(|j| j.user).collect(),
+                items: group.iter().flat_map(|j| j.seq.iter().copied()).collect(),
+                seq_len,
+                // Same placeholder target the offline recommend path uses;
+                // targets never enter the eval forward.
+                targets: group.iter().map(|j| j.seq[seq_len - 1]).collect(),
+                noise: None,
+            };
+            let scores = model.score(&mut g, &bind, &batch, &frozen);
+            let width = model.num_items() + 1;
+            {
+                let values = g.value(scores);
+                for (row, job) in group.iter().enumerate() {
+                    let row_scores = &values.data()[row * width..(row + 1) * width];
+                    let items = ssdrec_metrics::top_k(row_scores, job.k);
+                    let _ = job.resp.send(Arc::new(Recommendation {
+                        user: job.user,
+                        k: job.k,
+                        items,
+                        batch_size: group.len(),
+                    }));
+                }
+            }
+            stats.record_batch(group.len() as u64);
+            // Drop this request's activation nodes; parameters and the
+            // frozen tables below the mark stay bound.
+            g.truncate(mark);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdrec_models::BackboneKind;
+
+    fn tiny_engine(cfg: EngineConfig) -> (Engine, SeqRec) {
+        // Two identically-seeded models: one served, one for offline
+        // reference scoring.
+        let model = SeqRec::new(BackboneKind::SasRec, 20, 8, 10, 42);
+        let reference = SeqRec::new(BackboneKind::SasRec, 20, 8, 10, 42);
+        let stats = Arc::new(ServerStats::new());
+        (Engine::new(model.into(), cfg, stats), reference)
+    }
+
+    #[test]
+    fn served_scores_match_offline_bitwise() {
+        let (engine, reference) = tiny_engine(EngineConfig {
+            max_len: 10,
+            ..EngineConfig::default()
+        });
+        for seq in [vec![1, 2, 3], vec![5], vec![7, 7, 7, 7]] {
+            let served = engine.recommend(0, &seq, 5).expect("serve");
+            let offline = reference.recommend(0, &seq, 5);
+            assert_eq!(served.items.len(), offline.len());
+            for (s, o) in served.items.iter().zip(&offline) {
+                assert_eq!(s.0, o.0, "item mismatch for {seq:?}");
+                assert_eq!(s.1.to_bits(), o.1.to_bits(), "score bits for {seq:?}");
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn long_histories_truncate_to_max_len() {
+        let (engine, reference) = tiny_engine(EngineConfig {
+            max_len: 4,
+            ..EngineConfig::default()
+        });
+        let long: Vec<usize> = (1..=12).map(|i| (i % 20) + 1).collect();
+        let served = engine.recommend(0, &long, 3).expect("serve");
+        let offline = reference.recommend(0, &long[long.len() - 4..], 3);
+        assert_eq!(
+            served.items.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            offline.iter().map(|&(i, _)| i).collect::<Vec<_>>()
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_result() {
+        let (engine, _) = tiny_engine(EngineConfig::default());
+        let a = engine.recommend(3, &[1, 2], 4).expect("first");
+        let b = engine.recommend(3, &[1, 2], 4).expect("second");
+        assert!(Arc::ptr_eq(&a, &b), "second call must be the cached Arc");
+        assert_eq!(engine.stats().cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.stats().cache_misses.load(Ordering::Relaxed), 1);
+        // A changed history misses.
+        let c = engine.recommend(3, &[1, 2, 3], 4).expect("third");
+        assert!(!Arc::ptr_eq(&a, &c));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_and_counted() {
+        let (engine, _) = tiny_engine(EngineConfig::default());
+        assert!(engine.recommend(0, &[], 5).is_err(), "empty seq");
+        assert!(engine.recommend(0, &[1], 0).is_err(), "k = 0");
+        assert!(engine.recommend(0, &[0], 5).is_err(), "pad item");
+        assert!(engine.recommend(0, &[21], 5).is_err(), "item too large");
+        assert_eq!(engine.stats().errors_total.load(Ordering::Relaxed), 4);
+        assert_eq!(engine.stats().requests_total.load(Ordering::Relaxed), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_new_work() {
+        let (engine, _) = tiny_engine(EngineConfig::default());
+        engine.shutdown();
+        engine.shutdown();
+        assert!(engine.recommend(0, &[1], 3).is_err());
+    }
+
+    #[test]
+    fn requests_record_latency() {
+        let (engine, _) = tiny_engine(EngineConfig::default());
+        engine.recommend(1, &[4, 5, 6], 2).expect("serve");
+        assert_eq!(engine.stats().latency.count(), 1);
+        assert!(engine.stats().latency.quantile_ms(0.5) > 0.0);
+        engine.shutdown();
+    }
+}

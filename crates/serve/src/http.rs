@@ -1,0 +1,223 @@
+//! A deliberately minimal HTTP/1.1 implementation over `std::net` — just
+//! enough protocol for the serving endpoints: request-line + headers + body
+//! parsing (honouring `Content-Length`), query-string decoding, and
+//! `Connection: close` responses.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+
+/// Cap on header block + body, to bound memory per connection.
+const MAX_HEAD: usize = 16 * 1024;
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/recommend`.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Minimal percent-decoding (`%XX` and `+` → space) for query values.
+fn percent_decode(s: &str) -> String {
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = b
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(v) => {
+                        out.push(v);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(q: &str) -> HashMap<String, String> {
+    q.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Read one request from the stream. Returns `Ok(None)` on a cleanly closed
+/// connection with no bytes sent.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Option<Request>> {
+    // Read until the blank line terminating the header block.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => {
+                if head.is_empty() {
+                    return Ok(None);
+                }
+                return Err(bad("connection closed mid-headers"));
+            }
+            _ => head.push(byte[0]),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(bad("header block too large"));
+        }
+    }
+    let text = std::str::from_utf8(&head).map_err(|_| bad("non-UTF-8 headers"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or_else(|| bad("missing path"))?;
+    if !target.starts_with('/') {
+        return Err(bad("path must be absolute"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), HashMap::new()),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` response with a JSON body.
+pub fn write_json(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /recommend HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"user\": 1}";
+        let req = read_request(&mut Cursor::new(&raw[..]))
+            .unwrap()
+            .expect("request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/recommend");
+        assert_eq!(req.body, b"{\"user\": 1}");
+    }
+
+    #[test]
+    fn parses_query_string() {
+        let raw = b"GET /recommend?user=3&seq=1%2C2,3&k=5 HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..]))
+            .unwrap()
+            .expect("request");
+        assert_eq!(req.path, "/recommend");
+        assert_eq!(req.query.get("user").map(String::as_str), Some("3"));
+        assert_eq!(req.query.get("seq").map(String::as_str), Some("1,2,3"));
+        assert_eq!(req.query.get("k").map(String::as_str), Some("5"));
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        let req = read_request(&mut Cursor::new(&b""[..])).unwrap();
+        assert!(req.is_none());
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(read_request(&mut Cursor::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(read_request(&mut Cursor::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_json(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Serving telemetry: lock-free QPS counters and a log-scale latency
+//! histogram with percentile estimation — everything the `/metrics`
+//! endpoint exposes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Geometric bucket-boundary ratio ≈ ×1.3 per bucket, from 1 µs up to
+/// about a minute — resolution well under one histogram bucket of error at
+/// every latency scale this server can plausibly produce.
+fn boundaries() -> Vec<u64> {
+    let mut edges = vec![1u64];
+    while *edges.last().expect("non-empty") < 60_000_000 {
+        let last = *edges.last().expect("non-empty");
+        edges.push((last + (last * 3).div_ceil(10)).max(last + 1));
+    }
+    edges
+}
+
+/// A concurrent latency histogram over microsecond buckets.
+pub struct LatencyHistogram {
+    edges: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let edges = boundaries();
+        let counts = (0..edges.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        LatencyHistogram {
+            edges,
+            counts,
+            total_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = self.edges.partition_point(|&e| e < us.max(1));
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.total_us.load(Ordering::Relaxed) as f64 / n as f64 / 1000.0
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in milliseconds, estimated as the
+    /// upper edge of the bucket holding the quantile observation. Returns
+    /// 0 when the histogram is empty; any recorded observation yields a
+    /// strictly positive estimate (the smallest bucket edge is 1 µs).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                let edge_us = *self
+                    .edges
+                    .get(i)
+                    .unwrap_or(self.edges.last().expect("non-empty"));
+                return edge_us as f64 / 1000.0;
+            }
+        }
+        unreachable!("quantile target within total count")
+    }
+}
+
+/// All counters the serving subsystem maintains.
+pub struct ServerStats {
+    started: Instant,
+    /// End-to-end `/recommend` latency (includes queueing + batching).
+    pub latency: LatencyHistogram,
+    /// Total recommendation requests answered (hits + misses).
+    pub requests_total: AtomicU64,
+    /// Requests answered from the per-user session cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that went through the inference engine.
+    pub cache_misses: AtomicU64,
+    /// Batched forward passes executed.
+    pub batches_total: AtomicU64,
+    /// Requests served through those batches (≥ batches_total when
+    /// micro-batching coalesces concurrent requests).
+    pub batched_requests_total: AtomicU64,
+    /// Largest single forward-pass batch observed.
+    pub max_batch: AtomicU64,
+    /// Malformed or rejected requests.
+    pub errors_total: AtomicU64,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerStats {
+    /// Fresh stats with the uptime clock starting now.
+    pub fn new() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            latency: LatencyHistogram::new(),
+            requests_total: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            batches_total: AtomicU64::new(0),
+            batched_requests_total: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            errors_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one completed request's end-to-end latency.
+    pub fn record_request(&self, elapsed_us: u64) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.latency.record_us(elapsed_us);
+    }
+
+    /// Record one executed forward pass of `batch` coalesced requests.
+    pub fn record_batch(&self, batch: u64) {
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests_total
+            .fetch_add(batch, Ordering::Relaxed);
+        self.max_batch.fetch_max(batch, Ordering::Relaxed);
+    }
+
+    /// Uptime in seconds.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Requests per second since start.
+    pub fn qps(&self) -> f64 {
+        let up = self.uptime_secs();
+        if up <= 0.0 {
+            return 0.0;
+        }
+        self.requests_total.load(Ordering::Relaxed) as f64 / up
+    }
+
+    /// The `/metrics` JSON document.
+    pub fn to_json(&self) -> String {
+        use crate::json::f64_to_json;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "{{\"uptime_secs\":{},\"requests_total\":{},\"qps\":{},",
+                "\"latency_ms\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}},",
+                "\"cache\":{{\"hits\":{},\"misses\":{}}},",
+                "\"batching\":{{\"batches_total\":{},\"batched_requests_total\":{},\"max_batch\":{}}},",
+                "\"errors_total\":{}}}"
+            ),
+            f64_to_json(self.uptime_secs()),
+            get(&self.requests_total),
+            f64_to_json(self.qps()),
+            self.latency.count(),
+            f64_to_json(self.latency.mean_ms()),
+            f64_to_json(self.latency.quantile_ms(0.50)),
+            f64_to_json(self.latency.quantile_ms(0.95)),
+            f64_to_json(self.latency.quantile_ms(0.99)),
+            get(&self.cache_hits),
+            get(&self.cache_misses),
+            get(&self.batches_total),
+            get(&self.batched_requests_total),
+            get(&self.max_batch),
+            get(&self.errors_total),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_positive() {
+        let h = LatencyHistogram::new();
+        for us in [5u64, 50, 500, 5_000, 50_000, 50, 60, 70] {
+            h.record_us(us);
+        }
+        let (p50, p95, p99) = (h.quantile_ms(0.5), h.quantile_ms(0.95), h.quantile_ms(0.99));
+        assert!(p50 > 0.0, "p50 {p50}");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p99 lands in the bucket containing 50ms (×1.3 resolution).
+        assert!(p99 >= 50.0 && p99 <= 66.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn zero_latency_still_counts_as_nonzero_bucket() {
+        let h = LatencyHistogram::new();
+        h.record_us(0);
+        assert!(h.quantile_ms(0.5) > 0.0);
+    }
+
+    #[test]
+    fn stats_json_is_parseable() {
+        let s = ServerStats::new();
+        s.record_request(1_000);
+        s.record_batch(3);
+        s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let j = crate::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(j.get("requests_total").unwrap().as_usize(), Some(1));
+        assert!(
+            j.get("latency_ms")
+                .unwrap()
+                .get("p50")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(
+            j.get("batching")
+                .unwrap()
+                .get("max_batch")
+                .unwrap()
+                .as_usize(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn max_batch_tracks_maximum() {
+        let s = ServerStats::new();
+        s.record_batch(2);
+        s.record_batch(7);
+        s.record_batch(4);
+        assert_eq!(s.max_batch.load(Ordering::Relaxed), 7);
+    }
+}

@@ -107,9 +107,18 @@ impl Gradients {
 }
 
 /// An eagerly-evaluated autograd tape.
-#[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Whether operations are recorded for backprop. Inference graphs
+    /// (see [`Graph::inference`]) store only forward values — no ops, no
+    /// gradient bookkeeping — making every node a frozen constant.
+    record: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
 }
 
 /// Lower bound applied inside [`Graph::ln`] to keep logs finite.
@@ -120,7 +129,49 @@ impl Graph {
     pub fn new() -> Self {
         Graph {
             nodes: Vec::with_capacity(256),
+            record: true,
         }
+    }
+
+    /// An empty *inference* graph: forward values are computed by exactly
+    /// the same kernels as a recording graph (results are bit-identical),
+    /// but no operation tape is kept — nodes store only their value, every
+    /// node is gradient-free, and [`Graph::backward`] panics. Combined with
+    /// [`Graph::mark`]/[`Graph::truncate`] this is the frozen forward path
+    /// used by the serving subsystem: parameters are bound once below the
+    /// mark, and each request appends (then truncates) only its own
+    /// activation nodes, so no per-request tape is ever allocated.
+    pub fn inference() -> Self {
+        Graph {
+            nodes: Vec::with_capacity(256),
+            record: false,
+        }
+    }
+
+    /// Whether this graph records an autograd tape (false for
+    /// [`Graph::inference`] graphs).
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
+    /// The current node count, usable as a checkpoint for
+    /// [`Graph::truncate`].
+    pub fn mark(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drop every node pushed after `mark` (from [`Graph::mark`]), keeping
+    /// the allocated node buffer. [`Var`]s issued before the mark stay
+    /// valid; later ones must not be used again.
+    ///
+    /// # Panics
+    /// Panics if `mark` exceeds the current node count.
+    pub fn truncate(&mut self, mark: usize) {
+        assert!(
+            mark <= self.nodes.len(),
+            "truncate past the end of the graph"
+        );
+        self.nodes.truncate(mark);
     }
 
     /// Number of recorded nodes.
@@ -134,6 +185,13 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        let (op, requires_grad) = if self.record {
+            (op, requires_grad)
+        } else {
+            // Inference graphs keep no tape: every node degenerates to a
+            // gradient-free leaf holding only its forward value.
+            (Op::Leaf, false)
+        };
         self.nodes.push(Node {
             value,
             op,
@@ -441,8 +499,10 @@ impl Graph {
     /// Back-propagate from a scalar `loss` node, returning per-node gradients.
     ///
     /// # Panics
-    /// Panics if `loss` is not a single-element tensor.
+    /// Panics if `loss` is not a single-element tensor, or if this is an
+    /// inference graph (no tape to walk).
     pub fn backward(&self, loss: Var) -> Gradients {
+        assert!(self.record, "backward on an inference graph");
         assert_eq!(self.value(loss).len(), 1, "backward from non-scalar node");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -1106,6 +1166,49 @@ mod tests {
             ),
             1e-2,
         );
+    }
+
+    #[test]
+    fn inference_matches_recording_bitwise() {
+        let build = |g: &mut Graph| {
+            let x = g.param(t(&[0.3, -1.2, 0.8, 2.0, -0.5, 0.1], &[2, 3]));
+            let w = g.constant(t(
+                &(0..9).map(|i| 0.1 * i as f32 - 0.4).collect::<Vec<_>>(),
+                &[3, 3],
+            ));
+            let y = g.matmul(x, w);
+            let s = g.softmax_last(y);
+            let l = g.ln(s);
+            let z = g.tanh(l);
+            g.value(z).data().to_vec()
+        };
+        let mut rec = Graph::new();
+        let mut inf = Graph::inference();
+        assert_eq!(build(&mut rec), build(&mut inf));
+        assert!(rec.is_recording() && !inf.is_recording());
+    }
+
+    #[test]
+    fn inference_truncate_keeps_leaves_valid() {
+        let mut g = Graph::inference();
+        let w = g.param(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let mark = g.mark();
+        for _ in 0..3 {
+            g.truncate(mark);
+            let y = g.matmul(w, w);
+            assert_eq!(g.value(y).data(), &[7.0, 10.0, 15.0, 22.0]);
+            assert_eq!(g.mark(), mark + 1, "one activation node per pass");
+        }
+        assert_eq!(g.value(w).data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward on an inference graph")]
+    fn inference_backward_panics() {
+        let mut g = Graph::inference();
+        let x = g.param(t(&[1.0], &[1]));
+        let y = g.mul(x, x);
+        g.backward(y);
     }
 
     #[test]

@@ -85,10 +85,15 @@ pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result
     }
     let mut values = Vec::with_capacity(count);
     for i in 0..count {
-        let name_len = read_u32(&mut r)? as usize;
+        // Every failure from here on names the offending tensor so a bad
+        // checkpoint can be diagnosed without a hex dump.
+        let named = |name: &str, e: io::Error| err(format!("tensor {i} ({name}): {e}"));
+        let name_len = read_u32(&mut r).map_err(|e| named("<header>", e))? as usize;
         let mut name_bytes = vec![0u8; name_len];
-        r.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes).map_err(|_| err("invalid name encoding"))?;
+        r.read_exact(&mut name_bytes)
+            .map_err(|e| named("<header>", e))?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| err(format!("tensor {i}: invalid name encoding")))?;
         let pr = crate::optim::ParamStore::param_ref_by_index(i);
         if store.name(pr) != name {
             return Err(err(format!(
@@ -96,14 +101,14 @@ pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result
                 store.name(pr)
             )));
         }
-        let ndim = read_u32(&mut r)? as usize;
+        let ndim = read_u32(&mut r).map_err(|e| named(&name, e))? as usize;
         let mut shape = Vec::with_capacity(ndim);
         for _ in 0..ndim {
-            shape.push(read_u32(&mut r)? as usize);
+            shape.push(read_u32(&mut r).map_err(|e| named(&name, e))? as usize);
         }
         if shape != store.get(pr).shape() {
             return Err(err(format!(
-                "tensor {name}: checkpoint shape {shape:?} vs store {:?}",
+                "tensor {i} ({name}): checkpoint shape {shape:?} vs store {:?}",
                 store.get(pr).shape()
             )));
         }
@@ -111,7 +116,7 @@ pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> io::Result
         let mut data = vec![0f32; n];
         for x in data.iter_mut() {
             let mut b = [0u8; 4];
-            r.read_exact(&mut b)?;
+            r.read_exact(&mut b).map_err(|e| named(&name, e))?;
             *x = f32::from_le_bytes(b);
         }
         values.push(Tensor::new(data, &shape));
@@ -172,6 +177,64 @@ mod tests {
         assert!(
             load_params(&mut renamed, &path).is_err(),
             "name mismatch accepted"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("ssdrec_persist_magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ssdt");
+        save_params(&demo_store(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[..4].copy_from_slice(b"NOPE");
+        std::fs::write(&path, &bytes).unwrap();
+        let e = load_params(&mut demo_store(), &path).unwrap_err();
+        assert!(e.to_string().contains("not an SSDT checkpoint"), "{e}");
+    }
+
+    #[test]
+    fn rejects_version_mismatch() {
+        let dir = std::env::temp_dir().join("ssdrec_persist_ver");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ssdt");
+        save_params(&demo_store(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let e = load_params(&mut demo_store(), &path).unwrap_err();
+        assert!(e.to_string().contains("version 99"), "{e}");
+    }
+
+    #[test]
+    fn truncated_file_error_names_the_tensor() {
+        let dir = std::env::temp_dir().join("ssdrec_persist_trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ssdt");
+        save_params(&demo_store(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut inside the very last tensor's data section.
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        let e = load_params(&mut demo_store(), &path).unwrap_err();
+        assert!(e.to_string().contains("ln.gamma"), "error lacks name: {e}");
+    }
+
+    #[test]
+    fn shape_mismatch_error_names_the_tensor() {
+        let dir = std::env::temp_dir().join("ssdrec_persist_shape");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ssdt");
+        save_params(&demo_store(), &path).unwrap();
+        let mut reshaped = ParamStore::new();
+        let mut rng = Rng::seed(1);
+        reshaped.add_xavier("layer.w", &[2, 6], &mut rng); // same size, new shape
+        reshaped.add_zeros("layer.b", &[3]);
+        reshaped.add_ones("ln.gamma", &[3]);
+        let e = load_params(&mut reshaped, &path).unwrap_err();
+        let msg = e.to_string();
+        assert!(
+            msg.contains("layer.w") && msg.contains("shape"),
+            "error lacks context: {msg}"
         );
     }
 

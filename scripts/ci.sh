@@ -7,6 +7,10 @@
 #   3. Offline release build of the whole workspace.
 #   4. Offline test run.
 #   5. Bench binaries smoke-run in fast mode (1 iteration each).
+#   6. Serve smoke: train a tiny checkpoint, serve it on an ephemeral
+#      port, issue one request over bash /dev/tcp (no curl), assert a
+#      well-formed response, shut down cleanly.
+#   7. bench_serve latency-report smoke (writes target/ssdrec-bench/).
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
 # registry fails the build immediately.
@@ -57,5 +61,49 @@ cargo test --workspace -q
 
 echo "== bench smoke (SSDREC_BENCH_FAST=1) =="
 SSDREC_BENCH_FAST=1 cargo bench --workspace -q >/dev/null
+
+echo "== serve smoke =="
+SMOKE_DIR=target/ssdrec-smoke
+mkdir -p "$SMOKE_DIR"
+SMOKE_FLAGS="--profile beauty --scale 0.03 --dim 8 --max-len 12 --seed 7"
+./target/release/ssdrec train $SMOKE_FLAGS --epochs 1 --out "$SMOKE_DIR/ckpt.ssdt" >/dev/null
+./target/release/ssdrec serve $SMOKE_FLAGS --model "$SMOKE_DIR/ckpt.ssdt" \
+    --addr 127.0.0.1:0 >"$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's#^serving on http://##p' "$SMOKE_DIR/serve.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve smoke FAILED: server did not announce its address"
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+PORT=${ADDR##*:}
+# One request over bash's /dev/tcp (the workspace has no curl dependency).
+# seq=1 is the only history guaranteed to be in range: the tiny smoke
+# dataset can 5-core down to a catalogue of just a couple of items.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /recommend?user=0&seq=1&k=5 HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+RESP=$(cat <&3)
+exec 3<&- 3>&-
+if ! printf '%s' "$RESP" | grep -q '"items":\['; then
+    echo "serve smoke FAILED: malformed response: $RESP"
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'POST /shutdown HTTP/1.1\r\nHost: smoke\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3
+cat <&3 >/dev/null
+exec 3<&- 3>&-
+wait "$SERVE_PID"
+echo "ok: served a request on $ADDR and shut down cleanly"
+
+echo "== bench_serve latency smoke =="
+SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_serve >/dev/null
+test -f target/ssdrec-bench/serve_latency.csv
+echo "ok: latency report at target/ssdrec-bench/serve_latency.csv"
 
 echo "CI: all checks passed"
