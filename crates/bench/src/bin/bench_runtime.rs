@@ -1,0 +1,287 @@
+//! Thread-scaling benchmark for the `ssdrec-runtime` parallel compute pool.
+//!
+//! Sweeps `SSDREC_THREADS` ∈ {1, 2, 4, 8} over the three hot paths the
+//! runtime accelerates — a full-catalogue-sized gemm, one training epoch,
+//! and a full evaluation pass — and writes the aggregated report to
+//! `BENCH_runtime.json` at the repository root. Alongside the timings the
+//! sweep **asserts the determinism contract**: the gemm output bits, the
+//! epoch loss bits and the evaluation HR@10 / NDCG@10 bits must be
+//! identical at every thread count, or this binary exits non-zero.
+//!
+//! `cargo run --release -p ssdrec-bench --bin bench_runtime [-- --fast]`
+//!
+//! `--fast` (or `SSDREC_BENCH_FAST=1`) shrinks the workload to a CI smoke
+//! that still exercises every code path, including the JSON self-check.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ssdrec_data::{make_batches, prepare, Split, SyntheticConfig};
+use ssdrec_models::{evaluate, BackboneKind, RecModel, SeqRec};
+use ssdrec_tensor::kernels::matmul;
+use ssdrec_tensor::{Adam, Graph, Rng, Tensor};
+use ssdrec_testkit::bench::{BenchConfig, Harness};
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    fast: bool,
+    /// gemm shape: scoring-shaped `B×d · d×V`.
+    gemm_m: usize,
+    gemm_k: usize,
+    gemm_n: usize,
+    /// Dataset scale for the epoch/eval workloads.
+    scale: f64,
+    dim: usize,
+    batch_size: usize,
+    /// Timing repetitions (best-of).
+    reps: usize,
+}
+
+fn config() -> Config {
+    let fast = std::env::var("SSDREC_BENCH_FAST").is_ok_and(|v| v == "1")
+        || std::env::args().skip(1).any(|a| a == "--fast");
+    if fast {
+        Config {
+            fast,
+            gemm_m: 64,
+            gemm_k: 32,
+            gemm_n: 512,
+            scale: 0.02,
+            dim: 8,
+            batch_size: 32,
+            reps: 1,
+        }
+    } else {
+        Config {
+            fast,
+            gemm_m: 128,
+            gemm_k: 64,
+            gemm_n: 2048,
+            scale: 0.08,
+            dim: 16,
+            batch_size: 64,
+            reps: 3,
+        }
+    }
+}
+
+/// Deterministic dense fill shared by every sweep point.
+fn fill(n: usize, salt: u64) -> Vec<f32> {
+    let mut rng = Rng::seed(salt);
+    (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect()
+}
+
+/// Wrapping sum of the raw bit patterns: equal ⇔ (almost surely) the same
+/// bits in the same order — a compact identity witness per sweep point.
+fn bit_checksum(data: &[f32]) -> u64 {
+    data.iter().fold(0u64, |acc, x| {
+        acc.wrapping_mul(31).wrapping_add(x.to_bits() as u64)
+    })
+}
+
+/// One training epoch over `split.train` (the trainer's inner loop on the
+/// public model API), returning the mean loss.
+fn run_epoch(model: &mut SeqRec, split: &Split, batch_size: usize) -> f32 {
+    let mut opt = Adam::new(1e-3);
+    let mut rng = Rng::seed(7);
+    let batches = make_batches(&split.train, batch_size, 7);
+    let mut total = 0.0f32;
+    let mut nb = 0usize;
+    for batch in &batches {
+        let mut g = Graph::new();
+        let bind = model.store().bind_all(&mut g);
+        let loss = model.loss(&mut g, &bind, batch, &mut rng);
+        let lv = g.value(loss).item();
+        if lv.is_finite() {
+            total += lv;
+            nb += 1;
+            let mut grads = g.backward(loss);
+            opt.step(model.store_mut(), &bind, &mut grads);
+        }
+    }
+    if nb > 0 {
+        total / nb as f32
+    } else {
+        f32::NAN
+    }
+}
+
+/// Best-of-`reps` wall-clock milliseconds of `f`.
+fn time_best_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// The outermost ancestor holding a `Cargo.lock` — the workspace root
+/// (cargo runs bin targets with cwd = the package dir).
+fn repo_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("cwd");
+    cwd.ancestors()
+        .filter(|a| a.join("Cargo.lock").is_file())
+        .last()
+        .map(PathBuf::from)
+        .unwrap_or(cwd)
+}
+
+struct SweepPoint {
+    threads: usize,
+    gemm_ms: f64,
+    epoch_ms: f64,
+    eval_ms: f64,
+    gemm_checksum: u64,
+    loss_bits: u32,
+    hr10_bits: u64,
+    ndcg10_bits: u64,
+}
+
+fn main() {
+    let cfg = config();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "bench_runtime: sweeping threads {SWEEP:?} on a {host_cpus}-cpu host{}",
+        if cfg.fast { " (fast mode)" } else { "" }
+    );
+
+    let a = Tensor::new(fill(cfg.gemm_m * cfg.gemm_k, 1), &[cfg.gemm_m, cfg.gemm_k]);
+    let b = Tensor::new(fill(cfg.gemm_k * cfg.gemm_n, 2), &[cfg.gemm_k, cfg.gemm_n]);
+    let raw = SyntheticConfig::beauty()
+        .scaled(cfg.scale)
+        .with_seed(7)
+        .generate();
+    let (dataset, split) = prepare(&raw, 20, 2);
+    eprintln!(
+        "  data: {} items, {} train / {} test examples",
+        dataset.num_items,
+        split.train.len(),
+        split.test.len()
+    );
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &threads in &SWEEP {
+        ssdrec_runtime::set_threads(threads);
+
+        // gemm goes through the testkit harness so the per-thread JSON under
+        // target/ssdrec-bench/ carries the new `threads` field.
+        let mut h = Harness::with_config(&format!("runtime_t{threads}"), BenchConfig::default());
+        h.set_threads(threads);
+        let gemm_stats = h.bench("gemm_scoring_shape", || matmul(&a, &b));
+        let gemm_ms = gemm_stats.median_ns / 1e6;
+        let gemm_checksum = bit_checksum(matmul(&a, &b).data());
+        h.finish();
+
+        let (epoch_ms, loss) = time_best_ms(cfg.reps, || {
+            let mut model = SeqRec::new(BackboneKind::SasRec, dataset.num_items, cfg.dim, 20, 7);
+            run_epoch(&mut model, &split, cfg.batch_size)
+        });
+
+        let eval_model = SeqRec::new(BackboneKind::SasRec, dataset.num_items, cfg.dim, 20, 7);
+        let (eval_ms, report) = time_best_ms(cfg.reps, || {
+            evaluate(&eval_model, &split.test, cfg.batch_size).report()
+        });
+
+        eprintln!(
+            "  threads {threads}: gemm {gemm_ms:.3} ms, epoch {epoch_ms:.1} ms, eval {eval_ms:.1} ms"
+        );
+        points.push(SweepPoint {
+            threads,
+            gemm_ms,
+            epoch_ms,
+            eval_ms,
+            gemm_checksum,
+            loss_bits: loss.to_bits(),
+            hr10_bits: report.hr10.to_bits(),
+            ndcg10_bits: report.ndcg10.to_bits(),
+        });
+    }
+    ssdrec_runtime::set_threads(1);
+
+    // Determinism contract: every sweep point produced identical bits.
+    let base = &points[0];
+    for p in &points[1..] {
+        assert_eq!(
+            p.gemm_checksum, base.gemm_checksum,
+            "gemm bits diverged at {} threads",
+            p.threads
+        );
+        assert_eq!(
+            p.loss_bits, base.loss_bits,
+            "epoch loss bits diverged at {} threads",
+            p.threads
+        );
+        assert_eq!(
+            (p.hr10_bits, p.ndcg10_bits),
+            (base.hr10_bits, base.ndcg10_bits),
+            "evaluation metric bits diverged at {} threads",
+            p.threads
+        );
+    }
+    eprintln!("  determinism: all outputs bit-identical across the sweep");
+
+    let at = |t: usize, f: fn(&SweepPoint) -> f64| {
+        points
+            .iter()
+            .find(|p| p.threads == t)
+            .map(f)
+            .expect("sweep point")
+    };
+    let speedup_gemm_4 = at(1, |p| p.gemm_ms) / at(4, |p| p.gemm_ms).max(1e-9);
+    let speedup_eval_4 = at(1, |p| p.eval_ms) / at(4, |p| p.eval_ms).max(1e-9);
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"gemm_ms\": {:.4}, \"epoch_ms\": {:.3}, \
+                 \"eval_ms\": {:.3}, \"gemm_bits_checksum\": {}, \"loss_bits\": {}, \
+                 \"hr10_bits\": {}, \"ndcg10_bits\": {}}}",
+                p.threads,
+                p.gemm_ms,
+                p.epoch_ms,
+                p.eval_ms,
+                p.gemm_checksum,
+                p.loss_bits,
+                p.hr10_bits,
+                p.ndcg10_bits
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"runtime\",\n  \"fast\": {},\n  \"host_cpus\": {},\n  \
+         \"bit_identical_across_sweep\": true,\n  \
+         \"speedup_at_4_threads\": {{\"gemm\": {:.3}, \"eval\": {:.3}}},\n  \
+         \"sweep\": [\n{}\n  ]\n}}\n",
+        cfg.fast,
+        host_cpus,
+        speedup_gemm_4,
+        speedup_eval_4,
+        rows.join(",\n")
+    );
+
+    // Self-check: the report must parse with the workspace JSON parser.
+    let parsed = ssdrec_serve::json::parse(&json).expect("BENCH_runtime.json must be valid JSON");
+    assert_eq!(
+        parsed
+            .get("sweep")
+            .and_then(|s| s.as_arr())
+            .map(|a| a.len()),
+        Some(SWEEP.len())
+    );
+
+    let path = repo_root().join("BENCH_runtime.json");
+    std::fs::write(&path, &json).expect("write BENCH_runtime.json");
+    println!(
+        "bench_runtime: speedup@4 gemm {speedup_gemm_4:.2}x, eval {speedup_eval_4:.2}x \
+         (host has {host_cpus} cpu(s)); wrote {}",
+        path.display()
+    );
+}

@@ -38,7 +38,26 @@ fn usage() -> &'static str {
      --out CKPT      write a checkpoint after training\n\
      --model CKPT    checkpoint to load (recommend, serve)\n\
      --user U --k K  serving target (recommend)\n\
+     --threads N     compute threads for every subcommand (default: the\n\
+                     SSDREC_THREADS env var, else all available cores)\n\
      --addr HOST:PORT --workers N --max-batch B --linger-ms MS --cache N (serve)"
+}
+
+/// Apply `--threads N` (uniform across subcommands) to the runtime pool and
+/// return the effective thread count. Without the flag the pool keeps its
+/// default, which honours the `SSDREC_THREADS` env var. Results are
+/// bit-identical at every thread count; this only trades wall-clock time.
+fn configure_threads(a: &Args) -> Result<usize, String> {
+    match a.get_parse::<usize>("threads", 0)? {
+        0 if a.get("threads").is_some() => {
+            Err("--threads must be ≥ 1 (results are identical at any count)".into())
+        }
+        0 => Ok(ssdrec_runtime::threads()),
+        n => {
+            ssdrec_runtime::set_threads(n);
+            Ok(n)
+        }
+    }
 }
 
 fn load_dataset(a: &Args) -> Result<Dataset, String> {
@@ -293,6 +312,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = configure_threads(&args) {
+        eprintln!("error: {e}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
     let result = match args.command.as_deref() {
         Some("stats") => cmd_stats(&args),
         Some("train") => cmd_train(&args),
@@ -310,5 +333,29 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod cli_tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn threads_flag_configures_pool_and_rejects_zero() {
+        // Negative path: an explicit zero is refused with a clear message.
+        let err = configure_threads(&parse("train --threads 0")).unwrap_err();
+        assert!(err.contains("--threads"), "got: {err}");
+        // Unparseable values are refused too.
+        assert!(configure_threads(&parse("train --threads lots")).is_err());
+        // Positive path: the pool is resized to the requested count.
+        assert_eq!(configure_threads(&parse("train --threads 3")), Ok(3));
+        assert_eq!(ssdrec_runtime::threads(), 3);
+        // No flag: keeps whatever the pool already runs.
+        assert_eq!(configure_threads(&parse("train")), Ok(3));
+        ssdrec_runtime::set_threads(1);
     }
 }

@@ -14,11 +14,23 @@
 //! * **dissimilar** user edges between users who never co-interact yet share
 //!   a similar user.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ssdrec_data::Dataset;
 
 use crate::csr::Csr;
+
+/// A `HashMap` keyed by edge, flattened into ascending-key order.
+///
+/// Every loop below that *iterates* an edge map goes through this: hash-map
+/// iteration order is randomized per process, and float accumulation is not
+/// associative, so iterating the raw map would make graph weights (and hence
+/// trained checkpoints) differ between runs in their low bits.
+fn sorted_edges(m: &HashMap<(usize, usize), f32>) -> Vec<((usize, usize), f32)> {
+    let mut v: Vec<((usize, usize), f32)> = m.iter().map(|(&k, &w)| (k, w)).collect();
+    v.sort_unstable_by_key(|&(k, _)| k);
+    v
+}
 
 /// Knobs for graph construction. Defaults follow the paper's implementation
 /// details (few-shot ratios 0.9 users / 0.8 items via the 20/80 principle).
@@ -188,9 +200,10 @@ pub fn build_graph(ds: &Dataset, cfg: &GraphConfig) -> MultiRelationGraph {
             }
         }
     }
+    let trans_edges = sorted_edges(&trans);
     let mut trans_out_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_items];
     let mut trans_in_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_items];
-    for (&(i, j), &w) in &trans {
+    for &((i, j), w) in &trans_edges {
         trans_out_lists[i].push((j, w));
         trans_in_lists[j].push((i, w));
     }
@@ -206,17 +219,20 @@ pub fn build_graph(ds: &Dataset, cfg: &GraphConfig) -> MultiRelationGraph {
 
     // Per-item transitional mass to/from each neighbour (symmetrised once).
     let mut trans_mass: Vec<HashMap<usize, f32>> = vec![HashMap::new(); n_items];
-    for (&(i, j), &w) in &trans {
+    for &((i, j), w) in &trans_edges {
         *trans_mass[i].entry(j).or_insert(0.0) += w;
         *trans_mass[j].entry(i).or_insert(0.0) += w;
     }
 
     let popular_items: Vec<usize> = (1..n_items).filter(|&i| item_popular[i]).collect();
     let mut incomp: HashMap<(usize, usize), f32> = HashMap::new();
-    // Invert: for each context item k, the popular items connected to k.
-    let mut by_context: HashMap<usize, Vec<usize>> = HashMap::new();
+    // Invert: for each context item k, the popular items connected to k
+    // (a BTreeMap, and sorted context keys, so iteration order is canonical).
+    let mut by_context: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for &i in &popular_items {
-        for &k in trans_mass[i].keys() {
+        let mut ks: Vec<usize> = trans_mass[i].keys().copied().collect();
+        ks.sort_unstable();
+        for k in ks {
             by_context.entry(k).or_default().push(i);
         }
     }
@@ -234,17 +250,21 @@ pub fn build_graph(ds: &Dataset, cfg: &GraphConfig) -> MultiRelationGraph {
         }
     }
     let mut incomp_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_items];
-    for (&(i, j), &w) in &incomp {
+    for &((i, j), w) in &sorted_edges(&incomp) {
         incomp_lists[i].push((j, w));
         incomp_lists[j].push((i, w));
     }
 
     // --- similar user relations (E+_uu) -------------------------------------
     // Users sharing an item; weight = Σ_k (w_ik + w_jk) / (Σ w_i + Σ w_j).
-    let user_mass: Vec<f32> = ui.iter().map(|m| m.values().sum()).collect();
+    // All sums run over `ui_lists` (item-sorted) rather than the hash maps.
+    let user_mass: Vec<f32> = ui_lists
+        .iter()
+        .map(|l| l.iter().map(|&(_, w)| w).sum())
+        .collect();
     let mut by_item: Vec<Vec<usize>> = vec![Vec::new(); n_items];
-    for (u, m) in ui.iter().enumerate() {
-        for &i in m.keys() {
+    for (u, l) in ui_lists.iter().enumerate() {
+        for &(i, _) in l {
             by_item[i].push(u);
         }
     }
@@ -261,19 +281,25 @@ pub fn build_graph(ds: &Dataset, cfg: &GraphConfig) -> MultiRelationGraph {
         }
     }
     for ((a, b), w) in sim.iter_mut() {
-        let shared: f32 = ui[*a]
+        let shared: f32 = ui_lists[*a]
             .iter()
-            .filter_map(|(&i, &wa)| ui[*b].get(&i).map(|&wb| wa + wb))
+            .filter_map(|&(i, wa)| ui[*b].get(&i).map(|&wb| wa + wb))
             .sum();
         *w = shared / (user_mass[*a] + user_mass[*b]).max(1e-9);
     }
     let mut sim_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_users];
-    for (&(a, b), &w) in &sim {
+    for &((a, b), w) in &sorted_edges(&sim) {
         sim_lists[a].push((b, w));
         sim_lists[b].push((a, w));
     }
     for l in sim_lists.iter_mut() {
-        l.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Weight-descending with an explicit id tie-break, so truncation
+        // keeps the same neighbours on every run.
+        l.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.0.cmp(&y.0))
+        });
         l.truncate(cfg.max_neighbors);
     }
 
@@ -300,7 +326,7 @@ pub fn build_graph(ds: &Dataset, cfg: &GraphConfig) -> MultiRelationGraph {
         }
     }
     let mut dissim_lists: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_users];
-    for (&(a, b), &w) in &dissim {
+    for &((a, b), w) in &sorted_edges(&dissim) {
         dissim_lists[a].push((b, w));
         dissim_lists[b].push((a, w));
     }
@@ -469,6 +495,43 @@ mod tests {
         let g = build_graph(&ds, &GraphConfig::default());
         for seq in ds.sequences.iter().take(20) {
             assert!(g.sequence_coherence(seq, 3).iter().all(|&c| c >= 0.0));
+        }
+    }
+
+    #[test]
+    fn construction_is_bit_identical_across_builds() {
+        // Every intermediate edge map is a `HashMap` with a per-instance
+        // random hasher, so two builds traverse the maps in different
+        // orders. The canonicalized emission (`sorted_edges`, sorted
+        // context keys, id tie-breaks) must still produce byte-identical
+        // graphs — float sums are order-sensitive, and the stage-1 encoder
+        // (and hence trained checkpoints) inherit every low bit from here.
+        let ds = SyntheticConfig::beauty().scaled(0.3).generate();
+        let a = build_graph(&ds, &GraphConfig::default());
+        let b = build_graph(&ds, &GraphConfig::default());
+        let pairs = [
+            ("user_item", &a.user_item, &b.user_item),
+            ("item_user", &a.item_user, &b.item_user),
+            ("trans_out", &a.trans_out, &b.trans_out),
+            ("trans_in", &a.trans_in, &b.trans_in),
+            ("incompatible", &a.incompatible, &b.incompatible),
+            ("similar", &a.similar, &b.similar),
+            ("dissimilar", &a.dissimilar, &b.dissimilar),
+        ];
+        for (name, x, y) in pairs {
+            assert_eq!(x.num_edges(), y.num_edges(), "{name}: edge count");
+            for i in 0..x.num_nodes() {
+                let (nx, ny) = (x.neighbors(i), y.neighbors(i));
+                assert_eq!(nx.len(), ny.len(), "{name}: degree of {i}");
+                for (&(jx, wx), &(jy, wy)) in nx.iter().zip(ny) {
+                    assert_eq!(jx, jy, "{name}: neighbour order at node {i}");
+                    assert_eq!(
+                        wx.to_bits(),
+                        wy.to_bits(),
+                        "{name}: weight bits for edge {i}→{jx}"
+                    );
+                }
+            }
         }
     }
 

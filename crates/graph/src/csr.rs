@@ -48,7 +48,13 @@ impl Csr {
         let lists = (0..self.num_nodes())
             .map(|i| {
                 let mut l = self.neighbors(i).to_vec();
-                l.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                // Explicit id tie-break: equal weights must truncate to the
+                // same neighbours regardless of the caller's list order.
+                l.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
                 l.truncate(k);
                 l
             })

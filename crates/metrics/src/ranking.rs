@@ -101,6 +101,90 @@ pub fn top_k(scores: &[f32], k: usize) -> Vec<Scored> {
     out
 }
 
+/// [`top_k`] restricted to item IDs in `[lo, hi)` (index 0 still skipped).
+fn top_k_range(scores: &[f32], k: usize, lo: usize, hi: usize) -> Vec<Scored> {
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for i in lo.max(1)..hi {
+        let cand = (i, scores[i]);
+        if heap.len() < k {
+            heap.push(HeapEntry(cand));
+        } else if better(cand, heap.peek().expect("non-empty").0) {
+            heap.pop();
+            heap.push(HeapEntry(cand));
+        }
+    }
+    let mut out: Vec<Scored> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_by(|&a, &b| {
+        if better(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    out
+}
+
+/// Catalogue size below which [`par_top_k`] falls through to [`top_k`].
+const PAR_TOPK_MIN: usize = 4096;
+
+/// Parallel [`top_k`]: the catalogue is split into item-ID ranges, each
+/// range selects its local top `k`, and sorted candidate lists are merged
+/// pairwise. Selection under the strict total order of [`better`] is
+/// *exact* — no float arithmetic is reassociated — so the result equals
+/// [`top_k`] element-for-element and bit-for-bit at every thread count.
+pub fn par_top_k(scores: &[f32], k: usize) -> Vec<Scored> {
+    if k == 0 || scores.len() < PAR_TOPK_MIN || ssdrec_runtime::threads() == 1 {
+        return top_k(scores, k);
+    }
+    let grain = scores.len().div_ceil(16).max(1);
+    ssdrec_runtime::parallel_reduce(
+        scores.len(),
+        grain,
+        |s, e| top_k_range(scores, k, s, e),
+        |a, b| {
+            // Exact sorted merge of two candidate lists, keeping the best k.
+            let mut out = Vec::with_capacity(k.min(a.len() + b.len()));
+            let (mut ia, mut ib) = (0, 0);
+            while out.len() < k && (ia < a.len() || ib < b.len()) {
+                let take_a = match (a.get(ia), b.get(ib)) {
+                    (Some(&x), Some(&y)) => better(x, y),
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if take_a {
+                    out.push(a[ia]);
+                    ia += 1;
+                } else {
+                    out.push(b[ib]);
+                    ib += 1;
+                }
+            }
+            out
+        },
+    )
+    .unwrap_or_default()
+}
+
+/// Rank many evaluation rows at once: `flat` is a row-major `B×width` score
+/// matrix and `targets[r]` the held-out item of row `r`. Rows are ranked on
+/// the [`ssdrec_runtime`] pool — each output slot is written by exactly one
+/// chunk, so the result is identical to mapping [`full_rank`] sequentially.
+pub fn rank_rows(flat: &[f32], width: usize, targets: &[usize]) -> Vec<usize> {
+    let rows = targets.len();
+    assert_eq!(flat.len(), rows * width, "rank_rows shape mismatch");
+    let mut ranks = vec![0usize; rows];
+    let grain = rows.div_ceil(32).max(1);
+    ssdrec_runtime::parallel_chunks_mut(&mut ranks, grain, |ci, block| {
+        let r0 = ci * grain;
+        for (j, slot) in block.iter_mut().enumerate() {
+            let r = r0 + j;
+            *slot = full_rank(&flat[r * width..(r + 1) * width], targets[r]);
+        }
+    });
+    ranks
+}
+
 /// Accumulates ranking metrics over many evaluation examples.
 #[derive(Clone, Debug, Default)]
 pub struct RankingAccumulator {

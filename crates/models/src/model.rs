@@ -67,7 +67,7 @@ pub trait RecModel {
         let scores = self.eval_scores(&mut g, &bind, &batch);
         // Partial select shared with the serving engine; the pad item
         // (index 0) is never returned and ties break to the lower item ID.
-        ssdrec_metrics::top_k(g.value(scores).data(), k)
+        ssdrec_metrics::par_top_k(g.value(scores).data(), k)
     }
 }
 

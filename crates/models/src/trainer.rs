@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use ssdrec_data::{make_batches, Example, Split};
-use ssdrec_metrics::{full_rank, RankingAccumulator};
+use ssdrec_metrics::{rank_rows, RankingAccumulator};
 use ssdrec_tensor::{Adam, Graph, Rng};
 
 use crate::model::RecModel;
@@ -109,9 +109,10 @@ pub fn evaluate<M: RecModel>(
         let scores = model.eval_scores(&mut g, &bind, batch);
         let sv = g.value(scores);
         let v = sv.shape()[1];
-        for (i, &target) in batch.targets.iter().enumerate() {
-            let row = &sv.data()[i * v..(i + 1) * v];
-            acc.push_rank(full_rank(row, target));
+        // Rank the whole batch on the runtime pool; row order (and hence
+        // the accumulator contents) matches the per-row sequential loop.
+        for rank in rank_rows(sv.data(), v, &batch.targets) {
+            acc.push_rank(rank);
         }
     }
     acc

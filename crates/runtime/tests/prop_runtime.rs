@@ -1,0 +1,107 @@
+//! Property tests for the runtime's deterministic primitives, on the
+//! in-workspace `ssdrec-testkit` framework.
+//!
+//! The central claim under test is the determinism contract from the crate
+//! docs: `parallel_reduce` computes the same *fixed-shape pairwise tree*
+//! over per-chunk partials regardless of thread count, so for an exactly
+//! associative fold it equals the sequential fold bit-for-bit, and for a
+//! non-associative float fold it still equals the tree evaluated
+//! sequentially over the same chunk boundaries.
+
+use ssdrec_runtime::Pool;
+use ssdrec_testkit::{gens, property};
+
+/// Sequential reference for the fixed-shape reduce: map each `grain`-sized
+/// chunk, then fold the partials pairwise level by level — the exact tree
+/// `parallel_reduce` promises, evaluated on one thread.
+fn tree_reference<T>(
+    len: usize,
+    grain: usize,
+    map: impl Fn(usize, usize) -> T,
+    fold: impl Fn(T, T) -> T,
+) -> Option<T> {
+    let mut level: Vec<T> = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let end = (start + grain).min(len);
+        level.push(map(start, end));
+        start = end;
+    }
+    if level.is_empty() {
+        return None;
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(fold(a, b)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.into_iter().next()
+}
+
+property! {
+    cases = 48;
+
+    /// For an associative integer fold, `parallel_reduce` equals the plain
+    /// sequential fold at every thread count.
+    fn reduce_matches_sequential_fold_ints(
+        xs in gens::vecs(gens::usizes(0, 1000), 0, 200),
+        grain_pick in gens::usizes(1, 17),
+        threads in gens::usizes(1, 7),
+    ) {
+        let pool = Pool::new(threads);
+        let got = pool.parallel_reduce(
+            xs.len(),
+            grain_pick,
+            |s, e| xs[s..e].iter().sum::<usize>(),
+            |a, b| a + b,
+        );
+        let want = if xs.is_empty() { None } else { Some(xs.iter().sum::<usize>()) };
+        assert_eq!(got, want);
+    }
+
+    /// For a *non-associative* f32 sum, `parallel_reduce` still equals the
+    /// fixed-shape tree reference bit-for-bit, at 1 thread and at an
+    /// arbitrary thread count — i.e. the result depends on (len, grain)
+    /// only, never on parallelism.
+    fn reduce_is_bitstable_for_float_sums(
+        xs in gens::vecs(gens::f32s(-100.0, 100.0), 0, 300),
+        grain_pick in gens::usizes(1, 23),
+        threads in gens::usizes(2, 8),
+    ) {
+        let map = |s: usize, e: usize| xs[s..e].iter().sum::<f32>();
+        let fold = |a: f32, b: f32| a + b;
+
+        let want = tree_reference(xs.len(), grain_pick, map, fold);
+        let seq = Pool::new(1).parallel_reduce(xs.len(), grain_pick, map, fold);
+        let par = Pool::new(threads).parallel_reduce(xs.len(), grain_pick, map, fold);
+
+        assert_eq!(seq.map(f32::to_bits), want.map(f32::to_bits));
+        assert_eq!(par.map(f32::to_bits), want.map(f32::to_bits));
+    }
+
+    /// `parallel_for` chunking covers [0, len) exactly once with
+    /// boundaries derived from (len, grain) alone.
+    fn parallel_for_covers_range_once(
+        len in gens::usizes(0, 500),
+        grain_pick in gens::usizes(1, 31),
+        threads in gens::usizes(1, 6),
+    ) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let hits: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        let pool = Pool::new(threads);
+        pool.parallel_for(len, grain_pick, |s, e| {
+            assert!(s < e && e <= len);
+            assert!(e - s <= grain_pick);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

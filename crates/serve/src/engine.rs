@@ -188,10 +188,11 @@ impl Engine {
                 let model = Arc::clone(&model);
                 let rx = Arc::clone(&rx);
                 let stats = Arc::clone(&stats);
+                let busy = stats.register_worker();
                 let (max_batch, linger) = (cfg.max_batch, cfg.linger);
                 std::thread::Builder::new()
                     .name(format!("ssdrec-worker-{i}"))
-                    .spawn(move || worker_loop(&model, &rx, &stats, max_batch, linger))
+                    .spawn(move || worker_loop(&model, &rx, &stats, &busy, max_batch, linger))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -338,6 +339,7 @@ fn worker_loop(
     model: &InferenceModel,
     rx: &Mutex<Receiver<Job>>,
     stats: &ServerStats,
+    busy_us: &std::sync::atomic::AtomicU64,
     max_batch: usize,
     linger: Duration,
 ) {
@@ -351,6 +353,9 @@ fn worker_loop(
         if jobs.is_empty() {
             return; // engine shut down
         }
+        // Busy time starts once there is work; idle blocking in
+        // drain_jobs is excluded from the /metrics busy fraction.
+        let busy_start = Instant::now();
         // The workspace batches equal-length sequences only (Batch is a
         // dense B×T block with no padding), so group the coalesced jobs by
         // history length and run one forward per group.
@@ -374,7 +379,7 @@ fn worker_loop(
                 let values = g.value(scores);
                 for (row, job) in group.iter().enumerate() {
                     let row_scores = &values.data()[row * width..(row + 1) * width];
-                    let items = ssdrec_metrics::top_k(row_scores, job.k);
+                    let items = ssdrec_metrics::par_top_k(row_scores, job.k);
                     let _ = job.resp.send(Arc::new(Recommendation {
                         user: job.user,
                         k: job.k,
@@ -388,6 +393,7 @@ fn worker_loop(
             // frozen tables below the mark stay bound.
             g.truncate(mark);
         }
+        busy_us.fetch_add(busy_start.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 }
 

@@ -3,6 +3,7 @@
 //! endpoint exposes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Geometric bucket-boundary ratio ≈ ×1.3 per bucket, from 1 µs up to
@@ -108,6 +109,9 @@ pub struct ServerStats {
     pub max_batch: AtomicU64,
     /// Malformed or rejected requests.
     pub errors_total: AtomicU64,
+    /// Per-worker busy time in µs, one counter per registered worker
+    /// thread. Registered once by the engine at startup.
+    worker_busy_us: Mutex<Vec<Arc<AtomicU64>>>,
 }
 
 impl Default for ServerStats {
@@ -129,7 +133,20 @@ impl ServerStats {
             batched_requests_total: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             errors_total: AtomicU64::new(0),
+            worker_busy_us: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Register one engine worker thread; the returned counter accumulates
+    /// that worker's busy time in µs and feeds the `/metrics` `workers`
+    /// section.
+    pub fn register_worker(&self) -> Arc<AtomicU64> {
+        let counter = Arc::new(AtomicU64::new(0));
+        self.worker_busy_us
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Arc::clone(&counter));
+        counter
     }
 
     /// Record one completed request's end-to-end latency.
@@ -164,12 +181,30 @@ impl ServerStats {
     pub fn to_json(&self) -> String {
         use crate::json::f64_to_json;
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        // Per-worker busy fraction of server uptime, in registration order.
+        let uptime_us = (self.uptime_secs() * 1e6).max(1.0);
+        let busy: Vec<String> = self
+            .worker_busy_us
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|c| {
+                let frac = (c.load(Ordering::Relaxed) as f64 / uptime_us).clamp(0.0, 1.0);
+                f64_to_json(frac)
+            })
+            .collect();
+        let workers = format!(
+            "{{\"count\":{},\"busy_fraction\":[{}]}}",
+            busy.len(),
+            busy.join(",")
+        );
         format!(
             concat!(
                 "{{\"uptime_secs\":{},\"requests_total\":{},\"qps\":{},",
                 "\"latency_ms\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"batching\":{{\"batches_total\":{},\"batched_requests_total\":{},\"max_batch\":{}}},",
+                "\"workers\":{},",
                 "\"errors_total\":{}}}"
             ),
             f64_to_json(self.uptime_secs()),
@@ -185,6 +220,7 @@ impl ServerStats {
             get(&self.batches_total),
             get(&self.batched_requests_total),
             get(&self.max_batch),
+            workers,
             get(&self.errors_total),
         )
     }
@@ -247,6 +283,23 @@ mod tests {
                 .as_usize(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn workers_section_reports_count_and_busy_fraction() {
+        let s = ServerStats::new();
+        let w0 = s.register_worker();
+        let _w1 = s.register_worker();
+        w0.fetch_add(10, Ordering::Relaxed);
+        let j = crate::json::parse(&s.to_json()).expect("valid JSON");
+        let workers = j.get("workers").expect("workers section");
+        assert_eq!(workers.get("count").unwrap().as_usize(), Some(2));
+        let fracs = workers.get("busy_fraction").unwrap().as_arr().unwrap();
+        assert_eq!(fracs.len(), 2);
+        let f0 = fracs[0].as_f64().unwrap();
+        let f1 = fracs[1].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&f0));
+        assert_eq!(f1, 0.0);
     }
 
     #[test]

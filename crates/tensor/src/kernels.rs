@@ -47,15 +47,44 @@ pub fn reduce_to_suffix(a: &Tensor, suffix: &[usize]) -> Tensor {
     out
 }
 
-/// `out[m×n] (+)= a[m×k] · b[k×n]` with optional operand transposes.
+/// Parallelize a gemm only when it is worth a dispatch: roughly `2·m·k·n`
+/// flops. Below this the inline sequential path wins outright.
+const GEMM_PAR_WORK: usize = 16 * 1024;
+
+/// Minimum scattered elements (`N·d`) before the destination-partitioned
+/// parallel scatter-add beats the sequential loop.
+const SCATTER_PAR_WORK: usize = 16 * 1024;
+
+/// Output-row chunking for parallel gemm. Derived from `m` alone — never
+/// from the thread count — so chunk boundaries (and hence results) are
+/// identical under any `SSDREC_THREADS`.
+fn gemm_row_grain(m: usize) -> usize {
+    m.div_ceil(32).max(1)
+}
+
+/// Compute output rows `[r0, r1)` of `out[m×n] (+)= a[m×k] · b[k×n]` into
+/// `block` (the slice for exactly those rows). For every output element the
+/// inner accumulation runs over `p` ascending in all four transpose
+/// variants, so any row partition produces bits identical to `[0, m)`.
 #[allow(clippy::too_many_arguments)]
-fn gemm(a: &[f32], ta: bool, b: &[f32], tb: bool, m: usize, k: usize, n: usize, out: &mut [f32]) {
+fn gemm_rows(
+    a: &[f32],
+    ta: bool,
+    b: &[f32],
+    tb: bool,
+    m: usize,
+    k: usize,
+    n: usize,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+) {
     // a is m×k after the (optional) transpose; likewise b is k×n.
-    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(block.len(), (r1 - r0) * n);
     if !ta && !tb {
-        for i in 0..m {
+        for i in r0..r1 {
             let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
+            let orow = &mut block[(i - r0) * n..(i - r0 + 1) * n];
             for (p, &av) in arow.iter().enumerate() {
                 if av == 0.0 {
                     continue;
@@ -67,15 +96,16 @@ fn gemm(a: &[f32], ta: bool, b: &[f32], tb: bool, m: usize, k: usize, n: usize, 
             }
         }
     } else if ta && !tb {
-        // a stored as k×m
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
+        // a stored as k×m. Row-range form of the p-outer sequential loop;
+        // per output element the adds still run over p ascending.
+        for i in r0..r1 {
+            let orow = &mut block[(i - r0) * n..(i - r0 + 1) * n];
+            for p in 0..k {
+                let av = a[p * m + i];
                 if av == 0.0 {
                     continue;
                 }
-                let orow = &mut out[i * n..(i + 1) * n];
+                let brow = &b[p * n..(p + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                     *o += av * bv;
                 }
@@ -83,7 +113,7 @@ fn gemm(a: &[f32], ta: bool, b: &[f32], tb: bool, m: usize, k: usize, n: usize, 
         }
     } else if !ta && tb {
         // b stored as n×k
-        for i in 0..m {
+        for i in r0..r1 {
             let arow = &a[i * k..(i + 1) * k];
             for j in 0..n {
                 let brow = &b[j * k..(j + 1) * k];
@@ -91,19 +121,59 @@ fn gemm(a: &[f32], ta: bool, b: &[f32], tb: bool, m: usize, k: usize, n: usize, 
                 for (&av, &bv) in arow.iter().zip(brow.iter()) {
                     acc += av * bv;
                 }
-                out[i * n + j] += acc;
+                block[(i - r0) * n + j] += acc;
             }
         }
     } else {
         // a stored k×m, b stored n×k
-        for i in 0..m {
+        for i in r0..r1 {
             for j in 0..n {
                 let mut acc = 0.0;
                 for p in 0..k {
                     acc += a[p * m + i] * b[j * k + p];
                 }
-                out[i * n + j] += acc;
+                block[(i - r0) * n + j] += acc;
             }
+        }
+    }
+}
+
+/// `out[m×n] (+)= a[m×k] · b[k×n]` with optional operand transposes.
+///
+/// Large products are partitioned into output-row blocks and run on the
+/// [`ssdrec_runtime`] pool; both paths call [`gemm_rows`], whose per-element
+/// accumulation order is fixed, so results are bit-identical at every
+/// thread count.
+#[allow(clippy::too_many_arguments)]
+fn gemm(a: &[f32], ta: bool, b: &[f32], tb: bool, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    if 2 * m * k * n >= GEMM_PAR_WORK && m > 1 && ssdrec_runtime::threads() > 1 {
+        let rows = gemm_row_grain(m);
+        ssdrec_runtime::parallel_chunks_mut(out, rows * n, |ci, block| {
+            let r0 = ci * rows;
+            let r1 = (r0 + rows).min(m);
+            gemm_rows(a, ta, b, tb, m, k, n, block, r0, r1);
+        });
+    } else {
+        gemm_rows(a, ta, b, tb, m, k, n, out, 0, m);
+    }
+}
+
+/// Run `f(batch, out_block)` over every batch's disjoint output block,
+/// in parallel when `work` (flops) justifies it. One chunk per batch, so
+/// chunking depends only on the shape and results match the sequential
+/// batch loop bit-for-bit.
+fn for_each_batch(
+    block_len: usize,
+    work: usize,
+    out: &mut [f32],
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if out.len() > block_len && work >= GEMM_PAR_WORK && ssdrec_runtime::threads() > 1 {
+        ssdrec_runtime::parallel_chunks_mut(out, block_len, f);
+    } else {
+        for (i, block) in out.chunks_mut(block_len).enumerate() {
+            f(i, block);
         }
     }
 }
@@ -185,8 +255,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         }
         MatCase::ThreeThree(bs, m, k, n) => {
             let mut out = Tensor::zeros(&[bs, m, n]);
-            for i in 0..bs {
-                gemm(
+            for_each_batch(m * n, 2 * bs * m * k * n, out.data_mut(), |i, block| {
+                gemm_rows(
                     &a.data()[i * m * k..(i + 1) * m * k],
                     false,
                     &b.data()[i * k * n..(i + 1) * k * n],
@@ -194,15 +264,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
                     m,
                     k,
                     n,
-                    &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                    block,
+                    0,
+                    m,
                 );
-            }
+            });
             out
         }
         MatCase::ThreeTwo(bs, m, k, n) => {
             let mut out = Tensor::zeros(&[bs, m, n]);
-            for i in 0..bs {
-                gemm(
+            for_each_batch(m * n, 2 * bs * m * k * n, out.data_mut(), |i, block| {
+                gemm_rows(
                     &a.data()[i * m * k..(i + 1) * m * k],
                     false,
                     b.data(),
@@ -210,15 +282,17 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
                     m,
                     k,
                     n,
-                    &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                    block,
+                    0,
+                    m,
                 );
-            }
+            });
             out
         }
         MatCase::TwoThree(bs, m, k, n) => {
             let mut out = Tensor::zeros(&[bs, m, n]);
-            for i in 0..bs {
-                gemm(
+            for_each_batch(m * n, 2 * bs * m * k * n, out.data_mut(), |i, block| {
+                gemm_rows(
                     a.data(),
                     false,
                     &b.data()[i * k * n..(i + 1) * k * n],
@@ -226,9 +300,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
                     m,
                     k,
                     n,
-                    &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+                    block,
+                    0,
+                    m,
                 );
-            }
+            });
             out
         }
     }
@@ -248,8 +324,9 @@ pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor
         MatCase::ThreeThree(bs, m, k, n) => {
             let mut ga = Tensor::zeros(&[bs, m, k]);
             let mut gb = Tensor::zeros(&[bs, k, n]);
-            for i in 0..bs {
-                gemm(
+            // Both gradients are per-batch disjoint: two parallel passes.
+            for_each_batch(m * k, 2 * bs * m * n * k, ga.data_mut(), |i, block| {
+                gemm_rows(
                     &gout.data()[i * m * n..(i + 1) * m * n],
                     false,
                     &b.data()[i * k * n..(i + 1) * k * n],
@@ -257,9 +334,13 @@ pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor
                     m,
                     n,
                     k,
-                    &mut ga.data_mut()[i * m * k..(i + 1) * m * k],
+                    block,
+                    0,
+                    m,
                 );
-                gemm(
+            });
+            for_each_batch(k * n, 2 * bs * k * m * n, gb.data_mut(), |i, block| {
+                gemm_rows(
                     &a.data()[i * m * k..(i + 1) * m * k],
                     true,
                     &gout.data()[i * m * n..(i + 1) * m * n],
@@ -267,16 +348,18 @@ pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor
                     k,
                     m,
                     n,
-                    &mut gb.data_mut()[i * k * n..(i + 1) * k * n],
+                    block,
+                    0,
+                    k,
                 );
-            }
+            });
             (ga, gb)
         }
         MatCase::ThreeTwo(bs, m, k, n) => {
             let mut ga = Tensor::zeros(&[bs, m, k]);
             let mut gb = Tensor::zeros(&[k, n]);
-            for i in 0..bs {
-                gemm(
+            for_each_batch(m * k, 2 * bs * m * n * k, ga.data_mut(), |i, block| {
+                gemm_rows(
                     &gout.data()[i * m * n..(i + 1) * m * n],
                     false,
                     b.data(),
@@ -284,8 +367,15 @@ pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor
                     m,
                     n,
                     k,
-                    &mut ga.data_mut()[i * m * k..(i + 1) * m * k],
+                    block,
+                    0,
+                    m,
                 );
+            });
+            // gb accumulates across batches: the batch loop must stay
+            // sequential so each element's adds keep batch-ascending order.
+            // The inner gemm may still row-parallelize (bit-identical).
+            for i in 0..bs {
                 gemm(
                     &a.data()[i * m * k..(i + 1) * m * k],
                     true,
@@ -302,6 +392,8 @@ pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor
         MatCase::TwoThree(bs, m, k, n) => {
             let mut ga = Tensor::zeros(&[m, k]);
             let mut gb = Tensor::zeros(&[bs, k, n]);
+            // ga accumulates across batches: sequential batch loop (order),
+            // row-parallel inside gemm. gb is per-batch disjoint.
             for i in 0..bs {
                 gemm(
                     &gout.data()[i * m * n..(i + 1) * m * n],
@@ -313,7 +405,9 @@ pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor
                     k,
                     ga.data_mut(),
                 );
-                gemm(
+            }
+            for_each_batch(k * n, 2 * bs * k * m * n, gb.data_mut(), |i, block| {
+                gemm_rows(
                     a.data(),
                     true,
                     &gout.data()[i * m * n..(i + 1) * m * n],
@@ -321,9 +415,11 @@ pub fn matmul_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor
                     k,
                     m,
                     n,
-                    &mut gb.data_mut()[i * k * n..(i + 1) * k * n],
+                    block,
+                    0,
+                    k,
                 );
-            }
+            });
             (ga, gb)
         }
     }
@@ -690,14 +786,41 @@ pub fn gather_rows(weight: &Tensor, indices: &[usize]) -> Tensor {
 }
 
 /// Scatter-add row gradients back into a `V×d` weight gradient.
+///
+/// The parallel path partitions by **destination** rows — each task owns a
+/// disjoint block of vocabulary rows and scans all indices for hits — so
+/// every weight row receives its additions in ascending-`i` order, exactly
+/// like the sequential loop, and the result is bit-identical at every
+/// thread count.
 pub fn scatter_rows(weight_shape: &[usize], indices: &[usize], gout: &Tensor) -> Tensor {
-    let d = weight_shape[1];
+    let (v, d) = (weight_shape[0], weight_shape[1]);
+    for &ix in indices {
+        assert!(ix < v, "scatter index {ix} out of vocabulary {v}");
+    }
     let mut out = Tensor::zeros(weight_shape);
-    for (i, &ix) in indices.iter().enumerate() {
-        let src = &gout.data()[i * d..(i + 1) * d];
-        let dst = &mut out.data_mut()[ix * d..(ix + 1) * d];
-        for (o, &s) in dst.iter_mut().zip(src.iter()) {
-            *o += s;
+    if indices.len() * d >= SCATTER_PAR_WORK && v > 1 && ssdrec_runtime::threads() > 1 {
+        let rows = v.div_ceil(16).max(1);
+        ssdrec_runtime::parallel_chunks_mut(out.data_mut(), rows * d, |ci, block| {
+            let lo = ci * rows;
+            let hi = (lo + rows).min(v);
+            for (i, &ix) in indices.iter().enumerate() {
+                if ix < lo || ix >= hi {
+                    continue;
+                }
+                let src = &gout.data()[i * d..(i + 1) * d];
+                let dst = &mut block[(ix - lo) * d..(ix - lo + 1) * d];
+                for (o, &s) in dst.iter_mut().zip(src.iter()) {
+                    *o += s;
+                }
+            }
+        });
+    } else {
+        for (i, &ix) in indices.iter().enumerate() {
+            let src = &gout.data()[i * d..(i + 1) * d];
+            let dst = &mut out.data_mut()[ix * d..(ix + 1) * d];
+            for (o, &s) in dst.iter_mut().zip(src.iter()) {
+                *o += s;
+            }
         }
     }
     out

@@ -83,6 +83,9 @@ pub struct Stats {
     pub p95_ns: f64,
     /// Slowest sample (ns / iteration).
     pub max_ns: f64,
+    /// Total wall-clock spent on this benchmark (calibration + warm-up +
+    /// sampling), in milliseconds.
+    pub wall_clock_ms: f64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -109,6 +112,7 @@ fn fmt_ns(ns: f64) -> String {
 pub struct Harness {
     name: String,
     cfg: BenchConfig,
+    threads: usize,
     results: Vec<Stats>,
 }
 
@@ -124,16 +128,34 @@ impl Harness {
     /// A harness with an explicit config (tests; exotic setups).
     pub fn with_config(name: &str, cfg: BenchConfig) -> Self {
         eprintln!("bench harness `{name}`: {} sample(s)", cfg.samples);
+        // Default the reported thread count to the SSDREC_THREADS contract
+        // shared with `ssdrec-runtime` (testkit must not depend on it: the
+        // runtime dev-depends on testkit). Sweeping benchmarks override via
+        // [`Harness::set_threads`].
+        let threads = std::env::var("SSDREC_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+            .unwrap_or(1);
         Harness {
             name: name.to_string(),
             cfg,
+            threads,
             results: Vec::new(),
         }
+    }
+
+    /// Record the compute thread count the following benchmarks run under
+    /// (reported as the `threads` field of the JSON output).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Time `f`, which is called repeatedly; its return value is passed
     /// through [`black_box`] so the computation is not optimised away.
     pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &Stats {
+        let bench_start = Instant::now();
         // Calibrate: how many iterations fill one sample target?
         let mut iters: u64 = 1;
         if !self.cfg.sample_target.is_zero() {
@@ -178,6 +200,7 @@ impl Harness {
             median_ns: percentile(&per_iter_ns, 0.5),
             p95_ns: percentile(&per_iter_ns, 0.95),
             max_ns: *per_iter_ns.last().unwrap(),
+            wall_clock_ms: bench_start.elapsed().as_secs_f64() * 1e3,
         };
         eprintln!(
             "  {:<40} median {:>12}   p95 {:>12}   ({} iters/sample)",
@@ -200,11 +223,13 @@ impl Harness {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"harness\": \"{}\",\n", escape(&self.name)));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str("  \"benchmarks\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"id\": \"{}\", \"iters_per_sample\": {}, \"samples\": {}, \
-                 \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"max_ns\": {:.1}}}{}\n",
+                 \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"max_ns\": {:.1}, \
+                 \"wall_clock_ms\": {:.3}}}{}\n",
                 escape(&s.id),
                 s.iters_per_sample,
                 s.samples,
@@ -212,6 +237,7 @@ impl Harness {
                 s.median_ns,
                 s.p95_ns,
                 s.max_ns,
+                s.wall_clock_ms,
                 if i + 1 < self.results.len() { "," } else { "" }
             ));
         }
@@ -309,6 +335,17 @@ mod tests {
         assert!(json.contains("\"id\": \"a\""));
         assert!(json.contains("\"id\": \"b\""));
         assert!(json.contains("median_ns"));
+        assert!(json.contains("\"threads\": "));
+        assert!(json.contains("wall_clock_ms"));
+    }
+
+    #[test]
+    fn threads_field_is_overridable_and_wall_clock_positive() {
+        let mut h = Harness::with_config("unit_threads", fast_cfg());
+        h.set_threads(4);
+        let s = h.bench("spin", || std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(s.wall_clock_ms > 0.0);
+        assert!(h.to_json().contains("\"threads\": 4,"));
     }
 
     #[test]

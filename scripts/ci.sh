@@ -11,6 +11,11 @@
 #      port, issue one request over bash /dev/tcp (no curl), assert a
 #      well-formed response, shut down cleanly.
 #   7. bench_serve latency-report smoke (writes target/ssdrec-bench/).
+#   8. Thread determinism: the golden HR@10/NDCG@10 test and a CLI train
+#      run must produce byte-identical metrics under SSDREC_THREADS=1
+#      and SSDREC_THREADS=4.
+#   9. bench_runtime smoke: the thread sweep runs in fast mode and
+#      BENCH_runtime.json at the repo root parses as JSON.
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
 # registry fails the build immediately.
@@ -105,5 +110,36 @@ echo "== bench_serve latency smoke =="
 SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_serve >/dev/null
 test -f target/ssdrec-bench/serve_latency.csv
 echo "ok: latency report at target/ssdrec-bench/serve_latency.csv"
+
+echo "== thread determinism (golden metrics at 1 vs 4 threads) =="
+# The golden test pins exact f64 metrics; it must pass under both thread
+# counts — any parallel kernel that reorders a float sum fails it.
+SSDREC_THREADS=1 cargo test --release -q --test golden_determinism
+SSDREC_THREADS=4 cargo test --release -q --test golden_determinism
+# And a CLI train run must emit byte-identical metric lines either way.
+DET_DIR=target/ssdrec-smoke
+mkdir -p "$DET_DIR"
+SSDREC_THREADS=1 ./target/release/ssdrec train $SMOKE_FLAGS --epochs 1 \
+    | grep -E '^(valid|test)' >"$DET_DIR/metrics_t1.txt"
+./target/release/ssdrec train $SMOKE_FLAGS --epochs 1 --threads 4 \
+    | grep -E '^(valid|test)' >"$DET_DIR/metrics_t4.txt"
+if ! diff -u "$DET_DIR/metrics_t1.txt" "$DET_DIR/metrics_t4.txt"; then
+    echo "thread determinism FAILED: metrics differ between 1 and 4 threads"
+    exit 1
+fi
+echo "ok: golden + CLI metrics identical at 1 and 4 threads"
+
+echo "== bench_runtime thread-sweep smoke =="
+SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_runtime >/dev/null
+test -f BENCH_runtime.json
+# Must parse as JSON: python3 if present, else the workspace parser already
+# validated it inside bench_runtime before writing.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json,sys; json.load(open("BENCH_runtime.json"))'
+fi
+# The smoke overwrote the committed full-mode report; restore it so CI
+# leaves the tree clean.
+git checkout -- BENCH_runtime.json 2>/dev/null || true
+echo "ok: BENCH_runtime.json written and valid"
 
 echo "CI: all checks passed"

@@ -16,6 +16,8 @@
 //! | [`denoise`] | `ssdrec-denoise` | FMLP-Rec, DSAN, HSD, STEAM, DCRec |
 //! | [`core`] | `ssdrec-core` | the SSDRec three-stage framework |
 //! | [`metrics`] | `ssdrec-metrics` | HR/NDCG/MRR, t-tests, OUP ratios |
+//! | [`runtime`] | `ssdrec-runtime` | thread pool + deterministic parallel kernels |
+//! | [`serve`] | `ssdrec-serve` | the online inference HTTP server |
 //!
 //! ## Quickstart
 //!
@@ -39,4 +41,6 @@ pub use ssdrec_denoise as denoise;
 pub use ssdrec_graph as graph;
 pub use ssdrec_metrics as metrics;
 pub use ssdrec_models as models;
+pub use ssdrec_runtime as runtime;
+pub use ssdrec_serve as serve;
 pub use ssdrec_tensor as tensor;

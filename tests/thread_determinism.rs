@@ -1,0 +1,200 @@
+//! The determinism suite: every parallelized hot path must be
+//! **bit-identical** at 1, 2 and 7 threads (7 is deliberately odd and
+//! co-prime with every chunk count, so uneven chunk-to-thread assignments
+//! are exercised). This is the enforcement arm of the determinism contract
+//! in `ssdrec_runtime` — parallelism may only trade wall-clock time, never
+//! a single bit of output.
+//!
+//! Each test reconfigures the shared global pool, so the suite serialises
+//! itself behind one mutex and restores a 1-thread pool on the way out.
+
+use std::sync::Mutex;
+
+use ssdrec::metrics::{full_rank, par_top_k, rank_rows, top_k};
+use ssdrec::models::{evaluate, BackboneKind, RecModel, SeqRec};
+use ssdrec::serve::{Engine, EngineConfig, ServerStats};
+use ssdrec::tensor::kernels::{matmul, matmul_backward, scatter_rows};
+use ssdrec::tensor::Tensor;
+
+/// Serialises pool reconfiguration across `#[test]` threads.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Run `f` once per thread count and assert every output's bits match the
+/// 1-thread reference.
+fn assert_bits_stable<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let mut reference: Option<T> = None;
+    for &t in &THREAD_COUNTS {
+        ssdrec::runtime::set_threads(t);
+        let got = f();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "output diverged at {t} threads"),
+        }
+    }
+    ssdrec::runtime::set_threads(1);
+}
+
+/// A deterministic dense fill that produces "awkward" floats (varied signs
+/// and magnitudes, some exact zeros to exercise the gemm skip path).
+fn fill(n: usize, salt: u64) -> Vec<f32> {
+    let mut state = salt.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % 17 == 0 {
+                0.0
+            } else {
+                ((state >> 11) as f64 / (1u64 << 53) as f64) as f32 * 4.0 - 2.0
+            }
+        })
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn gemm_is_bit_identical_across_thread_counts() {
+    // Big enough to clear the parallel threshold in every case below.
+    let (m, k, n) = (96, 48, 80);
+    let a = Tensor::new(fill(m * k, 1), &[m, k]);
+    let b = Tensor::new(fill(k * n, 2), &[k, n]);
+    let gout = Tensor::new(fill(m * n, 3), &[m, n]);
+    assert_bits_stable(|| {
+        // Forward covers the (false, false) variant; the backward pair
+        // covers (false, true) and (true, false) over the same shapes.
+        let out = matmul(&a, &b);
+        let (ga, gb) = matmul_backward(&a, &b, &gout);
+        (bits(&out), bits(&ga), bits(&gb))
+    });
+}
+
+#[test]
+fn batched_matmul_is_bit_identical_across_thread_counts() {
+    let (bs, m, k, n) = (24, 12, 16, 20);
+    let a3 = Tensor::new(fill(bs * m * k, 4), &[bs, m, k]);
+    let b3 = Tensor::new(fill(bs * k * n, 5), &[bs, k, n]);
+    let b2 = Tensor::new(fill(k * n, 6), &[k, n]);
+    let gout = Tensor::new(fill(bs * m * n, 7), &[bs, m, n]);
+    assert_bits_stable(|| {
+        let out33 = matmul(&a3, &b3);
+        let out32 = matmul(&a3, &b2);
+        let (ga33, gb33) = matmul_backward(&a3, &b3, &gout);
+        // ThreeTwo backward: gb accumulates across batches — the
+        // order-sensitive case the sequential batch loop protects.
+        let (ga32, gb32) = matmul_backward(&a3, &b2, &gout);
+        (
+            bits(&out33),
+            bits(&out32),
+            bits(&ga33),
+            bits(&gb33),
+            bits(&ga32),
+            bits(&gb32),
+        )
+    });
+}
+
+#[test]
+fn embedding_backward_is_bit_identical_across_thread_counts() {
+    // Repeating indices make the scatter-add order observable: f32 addition
+    // is non-associative, so any reordering would flip low bits.
+    let (v, d, n) = (160, 32, 900);
+    let indices: Vec<usize> = (0..n).map(|i| (i * 37 + i * i * 11) % v).collect();
+    let gout = Tensor::new(fill(n * d, 8), &[n, d]);
+    assert_bits_stable(|| bits(&scatter_rows(&[v, d], &indices, &gout)));
+}
+
+#[test]
+fn full_rank_eval_is_bit_identical_across_thread_counts() {
+    // Synthetic wide score matrix straight through the metrics helpers…
+    let (rows, width) = (70, 512);
+    let flat = fill(rows * width, 9);
+    let targets: Vec<usize> = (0..rows).map(|r| 1 + (r * 13) % (width - 1)).collect();
+    let seq: Vec<usize> = targets
+        .iter()
+        .enumerate()
+        .map(|(r, &t)| full_rank(&flat[r * width..(r + 1) * width], t))
+        .collect();
+    assert_bits_stable(|| {
+        let ranks = rank_rows(&flat, width, &targets);
+        assert_eq!(ranks, seq, "parallel ranks must equal the sequential map");
+        ranks
+    });
+
+    // …and through a real model evaluation end to end.
+    let model = SeqRec::new(BackboneKind::SasRec, 40, 8, 12, 11);
+    let examples: Vec<ssdrec::data::Example> = (0..12)
+        .map(|u| ssdrec::data::Example {
+            user: u,
+            seq: (1..=8).map(|i| 1 + (u * 7 + i * 3) % 40).collect(),
+            target: 1 + (u * 5) % 40,
+            noise: None,
+        })
+        .collect();
+    assert_bits_stable(|| {
+        let acc = evaluate(&model, &examples, 4);
+        let report = acc.report();
+        (
+            acc.ranks().to_vec(),
+            report.hr10.to_bits(),
+            report.ndcg10.to_bits(),
+        )
+    });
+}
+
+#[test]
+fn top_k_selection_is_exact_at_any_thread_count() {
+    // A catalogue above the par_top_k threshold with heavy score ties.
+    let scores: Vec<f32> = fill(10_000, 10)
+        .into_iter()
+        .map(|x| (x * 8.0).round() / 8.0)
+        .collect();
+    let want = top_k(&scores, 25);
+    assert_bits_stable(|| {
+        let got = par_top_k(&scores, 25);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.0, w.0);
+            assert_eq!(g.1.to_bits(), w.1.to_bits());
+        }
+        got.iter()
+            .map(|&(i, s)| (i, s.to_bits()))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn served_request_is_bit_identical_across_thread_counts() {
+    assert_bits_stable(|| {
+        let model = SeqRec::new(BackboneKind::SasRec, 30, 8, 10, 42);
+        let reference = SeqRec::new(BackboneKind::SasRec, 30, 8, 10, 42);
+        let engine = Engine::new(
+            model.into(),
+            EngineConfig {
+                max_len: 10,
+                ..EngineConfig::default()
+            },
+            std::sync::Arc::new(ServerStats::new()),
+        );
+        let seq = vec![3, 9, 4, 1];
+        let served = engine.recommend(0, &seq, 8).expect("serve");
+        let offline = reference.recommend(0, &seq, 8);
+        assert_eq!(served.items.len(), offline.len());
+        for (s, o) in served.items.iter().zip(&offline) {
+            assert_eq!(s.0, o.0, "served item diverged from offline");
+            assert_eq!(s.1.to_bits(), o.1.to_bits(), "served score bits");
+        }
+        engine.shutdown();
+        served
+            .items
+            .iter()
+            .map(|&(i, s)| (i, s.to_bits()))
+            .collect::<Vec<_>>()
+    });
+}
