@@ -88,16 +88,18 @@ fn run_epoch(model: &mut SeqRec, split: &Split, batch_size: usize) -> f32 {
     let batches = make_batches(&split.train, batch_size, 7);
     let mut total = 0.0f32;
     let mut nb = 0usize;
+    let mut g = Graph::new();
+    let mut ws = ssdrec_tensor::Gradients::new();
     for batch in &batches {
-        let mut g = Graph::new();
+        g.reset();
         let bind = model.store().bind_all(&mut g);
         let loss = model.loss(&mut g, &bind, batch, &mut rng);
         let lv = g.value(loss).item();
         if lv.is_finite() {
             total += lv;
             nb += 1;
-            let mut grads = g.backward(loss);
-            opt.step(model.store_mut(), &bind, &mut grads);
+            g.backward_into(loss, &mut ws);
+            opt.step(model.store_mut(), &bind, &mut ws);
         }
     }
     if nb > 0 {
@@ -177,6 +179,8 @@ fn main() {
         let gemm_stats = h.bench("gemm_scoring_shape", || matmul(&a, &b));
         let gemm_ms = gemm_stats.median_ns / 1e6;
         let gemm_checksum = bit_checksum(matmul(&a, &b).data());
+        let pool = ssdrec_tensor::pool::global_stats();
+        h.set_pool_stats(pool.hits, pool.misses, pool.bytes_recycled);
         h.finish();
 
         let (epoch_ms, loss) = time_best_ms(cfg.reps, || {

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use ssdrec_data::{make_batches, Example, Split};
 use ssdrec_metrics::{rank_rows, RankingAccumulator};
-use ssdrec_tensor::{Adam, Graph, Rng};
+use ssdrec_tensor::{Adam, Gradients, Graph, Rng};
 
 use crate::model::RecModel;
 
@@ -96,17 +96,36 @@ pub struct TrainReport {
 }
 
 /// Evaluate a model on a set of examples, returning the rank accumulator.
+///
+/// Convenience wrapper over [`evaluate_with`] that owns a throwaway graph;
+/// step loops that already hold a long-lived graph should pass it to
+/// [`evaluate_with`] so the tape storage is reused.
 pub fn evaluate<M: RecModel>(
     model: &M,
     examples: &[Example],
     batch_size: usize,
 ) -> RankingAccumulator {
+    let mut g = Graph::new();
+    evaluate_with(model, examples, batch_size, &mut g)
+}
+
+/// Evaluate a model on a set of examples using a caller-provided graph.
+///
+/// The graph is [`reset`](Graph::reset) before every batch, so tape
+/// storage is recycled through the buffer pool instead of reallocated;
+/// results are bit-identical to building a fresh graph per batch.
+pub fn evaluate_with<M: RecModel>(
+    model: &M,
+    examples: &[Example],
+    batch_size: usize,
+    g: &mut Graph,
+) -> RankingAccumulator {
     let mut acc = RankingAccumulator::new();
     let batches = make_batches(examples, batch_size, 0);
     for batch in &batches {
-        let mut g = Graph::new();
-        let bind = model.store().bind_all(&mut g);
-        let scores = model.eval_scores(&mut g, &bind, batch);
+        g.reset();
+        let bind = model.store().bind_all(g);
+        let scores = model.eval_scores(g, &bind, batch);
         let sv = g.value(scores);
         let v = sv.shape()[1];
         // Rank the whole batch on the runtime pool; row order (and hence
@@ -132,6 +151,12 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
     let mut total_train_secs = 0.0f64;
     let mut final_loss = f32::NAN;
 
+    // One graph and one gradient workspace for the whole run: each step
+    // resets the tape (recycling its buffers through the pool) instead of
+    // allocating a new one, and backward writes into the same workspace.
+    let mut g = Graph::with_capacity(Graph::DEFAULT_CAPACITY);
+    let mut ws = Gradients::new();
+
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         model.on_epoch_start(epoch, cfg.epochs);
@@ -144,16 +169,16 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
         let mut epoch_loss = 0.0f32;
         let mut nb = 0usize;
         for batch in &batches {
-            let mut g = Graph::new();
+            g.reset();
             let bind = model.store().bind_all(&mut g);
             let loss = model.loss(&mut g, &bind, batch, &mut rng);
             let lv = g.value(loss).item();
             if lv.is_finite() {
                 epoch_loss += lv;
                 nb += 1;
-                let mut grads = g.backward(loss);
+                g.backward_into(loss, &mut ws);
                 opt.lr = cfg.lr * cfg.lr_schedule.factor(opt.steps() + 1);
-                opt.step(model.store_mut(), &bind, &mut grads);
+                opt.step(model.store_mut(), &bind, &mut ws);
             }
             model.after_step();
         }
@@ -164,7 +189,7 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
             f32::NAN
         };
 
-        let vacc = evaluate(model, &split.valid, cfg.batch_size);
+        let vacc = evaluate_with(model, &split.valid, cfg.batch_size, &mut g);
         let hr20 = vacc.hr(20);
         if cfg.verbose {
             eprintln!(
@@ -188,7 +213,7 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
     model.store_mut().restore(&best_snapshot);
 
     let t0 = Instant::now();
-    let tacc = evaluate(model, &split.test, cfg.batch_size);
+    let tacc = evaluate_with(model, &split.test, cfg.batch_size, &mut g);
     let infer_secs = t0.elapsed().as_secs_f64();
 
     TrainReport {

@@ -14,7 +14,7 @@
 //! `Batch` invariant), and every kernel is row-independent.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -183,16 +183,21 @@ impl Engine {
         let model = Arc::new(model);
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        // Shared graph high-water mark: every worker publishes the largest
+        // tape it has seen, and later workers (or restarts) pre-size their
+        // node Vec from it instead of the hard-coded default.
+        let hwm = Arc::new(AtomicUsize::new(Graph::DEFAULT_CAPACITY));
         let workers = (0..cfg.workers)
             .map(|i| {
                 let model = Arc::clone(&model);
                 let rx = Arc::clone(&rx);
                 let stats = Arc::clone(&stats);
                 let busy = stats.register_worker();
+                let hwm = Arc::clone(&hwm);
                 let (max_batch, linger) = (cfg.max_batch, cfg.linger);
                 std::thread::Builder::new()
                     .name(format!("ssdrec-worker-{i}"))
-                    .spawn(move || worker_loop(&model, &rx, &stats, &busy, max_batch, linger))
+                    .spawn(move || worker_loop(&model, &rx, &stats, &busy, &hwm, max_batch, linger))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -340,10 +345,11 @@ fn worker_loop(
     rx: &Mutex<Receiver<Job>>,
     stats: &ServerStats,
     busy_us: &std::sync::atomic::AtomicU64,
+    hwm: &AtomicUsize,
     max_batch: usize,
     linger: Duration,
 ) {
-    let mut g = Graph::inference();
+    let mut g = Graph::inference_with_capacity(hwm.load(Ordering::Relaxed));
     let bind = model.store().bind_all(&mut g);
     let frozen = model.precompute(&mut g, &bind);
     let mark = g.mark();
@@ -393,6 +399,7 @@ fn worker_loop(
             // frozen tables below the mark stay bound.
             g.truncate(mark);
         }
+        hwm.fetch_max(g.high_water(), Ordering::Relaxed);
         busy_us.fetch_add(busy_start.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 }

@@ -198,6 +198,10 @@ impl ServerStats {
             busy.len(),
             busy.join(",")
         );
+        // Tensor-pool telemetry aggregated over every thread that touched
+        // the pool (workers included): recycled-buffer hit/miss counts and
+        // bytes served from recycled storage.
+        let pool = ssdrec_tensor::pool::global_stats();
         format!(
             concat!(
                 "{{\"uptime_secs\":{},\"requests_total\":{},\"qps\":{},",
@@ -205,6 +209,7 @@ impl ServerStats {
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"batching\":{{\"batches_total\":{},\"batched_requests_total\":{},\"max_batch\":{}}},",
                 "\"workers\":{},",
+                "\"pool\":{{\"pool_hits\":{},\"pool_misses\":{},\"bytes_recycled\":{}}},",
                 "\"errors_total\":{}}}"
             ),
             f64_to_json(self.uptime_secs()),
@@ -221,6 +226,9 @@ impl ServerStats {
             get(&self.batched_requests_total),
             get(&self.max_batch),
             workers,
+            pool.hits,
+            pool.misses,
+            pool.bytes_recycled,
             get(&self.errors_total),
         )
     }
@@ -283,6 +291,13 @@ mod tests {
                 .as_usize(),
             Some(3)
         );
+        let pool = j.get("pool").expect("pool section");
+        for field in ["pool_hits", "pool_misses", "bytes_recycled"] {
+            assert!(
+                pool.get(field).and_then(|v| v.as_usize()).is_some(),
+                "missing pool field {field}"
+            );
+        }
     }
 
     #[test]

@@ -5,11 +5,17 @@
 //! referenced by lightweight [`Var`] handles; creation order is a valid
 //! topological order, so the backward pass is a single reverse sweep.
 //!
-//! A fresh graph is built per training step; long-lived parameters live
-//! outside the graph (see [`crate::optim`]) and are re-registered as leaves
-//! each step via [`Graph::param`].
+//! The tape is built per training step; long-lived parameters live outside
+//! the graph (see [`crate::optim`]) and are re-registered as leaves each
+//! step via [`Graph::param`]. Step loops keep **one** long-lived `Graph`
+//! and call [`Graph::reset`] between steps: the node `Vec` keeps its
+//! capacity and every node's value buffer returns to the buffer pool
+//! ([`crate::pool`]), so steady-state steps allocate (almost) nothing.
+//! Likewise [`Graph::backward_into`] reuses a caller-owned [`Gradients`]
+//! workspace instead of allocating one per step.
 
 use crate::kernels;
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Handle to a node in a [`Graph`].
@@ -89,20 +95,80 @@ struct Node {
     requires_grad: bool,
 }
 
-/// Gradients produced by [`Graph::backward`], indexed by [`Var::id`].
+/// Gradients produced by [`Graph::backward`] / filled by
+/// [`Graph::backward_into`], indexed by [`Var::id`].
+///
+/// # Lifetime
+///
+/// The entries are indexed by node id and are only meaningful for the
+/// backward pass that produced them: once the graph is
+/// [`reset`](Graph::reset) or truncated, the same `Var` ids name different
+/// nodes, so a `Gradients` held across a reset is stale. A reusable
+/// workspace handed back to [`Graph::backward_into`] is safe — every pass
+/// first clears all stale entries (recycling their buffers) and resizes the
+/// table to the current tape, so a leftover gradient can never be observed
+/// through [`Gradients::get`]/[`Gradients::take`] on a later step.
+#[derive(Default)]
 pub struct Gradients {
     grads: Vec<Option<Tensor>>,
 }
 
 impl Gradients {
+    /// An empty workspace, ready to be passed to [`Graph::backward_into`].
+    pub fn new() -> Self {
+        Gradients::default()
+    }
+
     /// The gradient of the loss w.r.t. `v`, if it participated in the loss.
+    ///
+    /// `v` must come from the same graph state as the backward pass that
+    /// filled this workspace (see the type-level lifetime note).
     pub fn get(&self, v: Var) -> Option<&Tensor> {
         self.grads.get(v.0).and_then(|g| g.as_ref())
     }
 
     /// Take ownership of the gradient for `v`.
+    ///
+    /// Taking leaves the slot empty but does **not** shrink the table; the
+    /// table is re-sized to the live tape by the next
+    /// [`Graph::backward_into`] (or [`Gradients::clear`]).
     pub fn take(&mut self, v: Var) -> Option<Tensor> {
         self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+
+    /// Number of node slots (the tape length of the producing backward
+    /// pass; 0 for a fresh workspace).
+    pub fn len(&self) -> usize {
+        self.grads.len()
+    }
+
+    /// Whether the workspace holds no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.grads.is_empty()
+    }
+
+    /// Drop every entry (recycling gradient buffers into the pool) and
+    /// shrink the slot table to zero, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.reset_to(0);
+    }
+
+    /// Recycle every remaining gradient and resize to `n` empty slots.
+    fn reset_to(&mut self, n: usize) {
+        for slot in self.grads.iter_mut() {
+            if let Some(t) = slot.take() {
+                pool::recycle(t.into_data());
+            }
+        }
+        self.grads.resize_with(n, || None);
+    }
+}
+
+impl Drop for Gradients {
+    fn drop(&mut self) {
+        // Un-taken gradients (e.g. parameters excluded from an update) go
+        // back to the pool rather than to the allocator.
+        self.reset_to(0);
     }
 }
 
@@ -113,6 +179,10 @@ pub struct Graph {
     /// (see [`Graph::inference`]) store only forward values — no ops, no
     /// gradient bookkeeping — making every node a frozen constant.
     record: bool,
+    /// Highest node count ever seen on this graph; survives
+    /// [`Graph::reset`]/[`Graph::truncate`] so callers can pre-size the
+    /// next graph (or step) from the previous high-water mark.
+    hwm: usize,
 }
 
 impl Default for Graph {
@@ -121,15 +191,37 @@ impl Default for Graph {
     }
 }
 
+impl Drop for Graph {
+    fn drop(&mut self) {
+        // One-shot graphs (single-sequence recommend paths, tests) return
+        // their buffers to the pool on drop, so they feed the long-lived
+        // step loops' inventory instead of starving it.
+        self.recycle_from(0);
+    }
+}
+
 /// Lower bound applied inside [`Graph::ln`] to keep logs finite.
 pub const LN_CLAMP: f32 = 1e-12;
 
 impl Graph {
-    /// An empty graph.
+    /// Default node capacity used by [`Graph::new`]/[`Graph::inference`]
+    /// when the caller has no better estimate (see
+    /// [`Graph::with_capacity`]).
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// An empty graph with [`Graph::DEFAULT_CAPACITY`] node slots reserved.
     pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty graph with `capacity` node slots reserved. Step loops that
+    /// rebuild the tape repeatedly should size this from the previous
+    /// step's [`Graph::high_water`] to avoid re-growing the node `Vec`.
+    pub fn with_capacity(capacity: usize) -> Self {
         Graph {
-            nodes: Vec::with_capacity(256),
+            nodes: Vec::with_capacity(capacity),
             record: true,
+            hwm: 0,
         }
     }
 
@@ -142,9 +234,45 @@ impl Graph {
     /// mark, and each request appends (then truncates) only its own
     /// activation nodes, so no per-request tape is ever allocated.
     pub fn inference() -> Self {
+        Self::inference_with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty inference graph (see [`Graph::inference`]) with `capacity`
+    /// node slots reserved.
+    pub fn inference_with_capacity(capacity: usize) -> Self {
         Graph {
-            nodes: Vec::with_capacity(256),
+            nodes: Vec::with_capacity(capacity),
             record: false,
+            hwm: 0,
+        }
+    }
+
+    /// The largest node count this graph has ever held. Unlike
+    /// [`Graph::len`], this survives [`Graph::reset`] and
+    /// [`Graph::truncate`], making it the right pre-sizing hint for the
+    /// next step or the next worker's graph.
+    pub fn high_water(&self) -> usize {
+        self.hwm
+    }
+
+    /// Clear the tape for the next step: every node is dropped, each value
+    /// buffer (and any dropout mask) returns to the buffer pool, and the
+    /// node `Vec` keeps its capacity. The recording mode and
+    /// [`Graph::high_water`] are preserved. All previously issued [`Var`]s
+    /// become invalid; node ids restart at 0, so a step rebuilt after a
+    /// reset produces bit-identical values and ids to one built on a fresh
+    /// graph.
+    pub fn reset(&mut self) {
+        self.recycle_from(0);
+    }
+
+    /// Drop nodes `start..` into the pool, keeping the `Vec` allocation.
+    fn recycle_from(&mut self, start: usize) {
+        for node in self.nodes.drain(start..) {
+            if let Op::Dropout(_, mask) = node.op {
+                pool::recycle(mask);
+            }
+            pool::recycle(node.value.into_data());
         }
     }
 
@@ -161,8 +289,9 @@ impl Graph {
     }
 
     /// Drop every node pushed after `mark` (from [`Graph::mark`]), keeping
-    /// the allocated node buffer. [`Var`]s issued before the mark stay
-    /// valid; later ones must not be used again.
+    /// the allocated node buffer and recycling the dropped nodes' value
+    /// buffers into the pool. [`Var`]s issued before the mark stay valid
+    /// (their values are untouched); later ones must not be used again.
     ///
     /// # Panics
     /// Panics if `mark` exceeds the current node count.
@@ -171,7 +300,7 @@ impl Graph {
             mark <= self.nodes.len(),
             "truncate past the end of the graph"
         );
-        self.nodes.truncate(mark);
+        self.recycle_from(mark);
     }
 
     /// Number of recorded nodes.
@@ -197,6 +326,7 @@ impl Graph {
             op,
             requires_grad,
         });
+        self.hwm = self.hwm.max(self.nodes.len());
         Var(self.nodes.len() - 1)
     }
 
@@ -476,12 +606,10 @@ impl Graph {
         assert_eq!(mask.len(), self.value(a).len(), "dropout mask length");
         let t = {
             let v = self.value(a);
-            let data = v
-                .data()
-                .iter()
-                .zip(mask.iter())
-                .map(|(x, m)| x * m)
-                .collect();
+            let mut data = pool::take(v.len());
+            for ((o, &x), &m) in data.iter_mut().zip(v.data()).zip(mask.iter()) {
+                *o = x * m;
+            }
             Tensor::new(data, v.shape())
         };
         let rg = self.rg(a);
@@ -498,19 +626,45 @@ impl Graph {
 
     /// Back-propagate from a scalar `loss` node, returning per-node gradients.
     ///
+    /// Step loops should prefer [`Graph::backward_into`] with a reusable
+    /// [`Gradients`] workspace; this convenience wrapper allocates a fresh
+    /// workspace per call.
+    ///
     /// # Panics
     /// Panics if `loss` is not a single-element tensor, or if this is an
     /// inference graph (no tape to walk).
     pub fn backward(&self, loss: Var) -> Gradients {
+        let mut ws = Gradients::new();
+        self.backward_into(loss, &mut ws);
+        ws
+    }
+
+    /// Back-propagate from a scalar `loss` node into a caller-owned,
+    /// reusable [`Gradients`] workspace.
+    ///
+    /// Any stale entries in `ws` (from a previous step, even on a
+    /// different tape length) are recycled into the pool and the slot
+    /// table is resized to this graph before the sweep, so the results are
+    /// bit-identical to a fresh [`Graph::backward`] call.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor, or if this is an
+    /// inference graph (no tape to walk).
+    pub fn backward_into(&self, loss: Var, ws: &mut Gradients) {
         assert!(self.record, "backward on an inference graph");
         assert_eq!(self.value(loss).len(), 1, "backward from non-scalar node");
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        ws.reset_to(self.nodes.len());
+        let grads = &mut ws.grads;
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for id in (0..=loss.0).rev() {
             let node = &self.nodes[id];
             if grads[id].is_none() || !node.requires_grad {
-                grads[id] = None;
+                if let Some(t) = grads[id].take() {
+                    // A gradient reached a node that does not require one
+                    // (e.g. below a detach); recycle rather than drop it.
+                    pool::recycle(t.into_data());
+                }
                 continue;
             }
             if matches!(node.op, Op::Leaf) {
@@ -518,17 +672,21 @@ impl Graph {
                 continue;
             }
             let gout = grads[id].take().expect("checked above");
-            self.backprop_node(node, &gout, &mut grads);
+            self.backprop_node(node, &gout, grads);
+            pool::recycle(gout.into_data());
         }
-        Gradients { grads }
     }
 
     fn accum(&self, grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
         if !self.rg(v) {
+            pool::recycle(g.into_data());
             return;
         }
         match &mut grads[v.0] {
-            Some(acc) => acc.add_assign(&g),
+            Some(acc) => {
+                acc.add_assign(&g);
+                pool::recycle(g.into_data());
+            }
             slot @ None => *slot = Some(g),
         }
     }
@@ -772,12 +930,10 @@ impl Graph {
                 self.accum(grads, *a, gout.clone().reshaped(&ash));
             }
             Op::Dropout(a, mask) => {
-                let data = gout
-                    .data()
-                    .iter()
-                    .zip(mask.iter())
-                    .map(|(g, m)| g * m)
-                    .collect();
+                let mut data = pool::take(gout.len());
+                for ((o, &g), &m) in data.iter_mut().zip(gout.data()).zip(mask.iter()) {
+                    *o = g * m;
+                }
                 self.accum(grads, *a, Tensor::new(data, gout.shape()));
             }
             Op::Detach => {}
@@ -1209,6 +1365,112 @@ mod tests {
         let x = g.param(t(&[1.0], &[1]));
         let y = g.mul(x, x);
         g.backward(y);
+    }
+
+    #[test]
+    fn reset_then_rebuild_is_bit_identical() {
+        let build = |g: &mut Graph| -> (Vec<f32>, Vec<f32>) {
+            let x = g.param(t(&[0.3, -1.2, 0.8, 2.0], &[2, 2]));
+            let w = g.constant(t(&[0.5, -0.1, 0.2, 0.9], &[2, 2]));
+            let y = g.matmul(x, w);
+            let s = g.softmax_last(y);
+            let l = g.ln(s);
+            let loss = g.sum_all(l);
+            let grads = g.backward(loss);
+            (
+                g.value(loss).data().to_vec(),
+                grads.get(x).unwrap().data().to_vec(),
+            )
+        };
+        let mut fresh = Graph::new();
+        let want = build(&mut fresh);
+
+        let mut reused = Graph::new();
+        for _ in 0..3 {
+            reused.reset();
+            let got = build(&mut reused);
+            assert_eq!(
+                got.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.0.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                got.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_preserves_capacity_and_high_water() {
+        let mut g = Graph::new();
+        for i in 0..10 {
+            let x = g.param(t(&[i as f32], &[1]));
+            g.mul(x, x);
+        }
+        assert_eq!(g.high_water(), 20);
+        g.reset();
+        assert!(g.is_empty());
+        assert_eq!(g.high_water(), 20, "high-water mark survives reset");
+        assert!(g.is_recording());
+        let x = g.param(t(&[1.0], &[1]));
+        assert_eq!(x.id(), 0, "node ids restart at 0 after reset");
+    }
+
+    #[test]
+    fn backward_into_reuses_workspace_across_tape_sizes() {
+        let mut ws = Gradients::new();
+
+        // Big graph first so the workspace grows.
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 2.0, 3.0, 4.0], &[4]));
+        let mut y = g.mul(x, x);
+        for _ in 0..5 {
+            y = g.add(y, x);
+        }
+        let loss = g.sum_all(y);
+        g.backward_into(loss, &mut ws);
+        let big_len = ws.len();
+        assert!(ws.get(x).is_some());
+
+        // Smaller graph into the same workspace: table shrinks, stale
+        // high-id entries are gone, result matches a fresh backward.
+        g.reset();
+        let x2 = g.param(t(&[0.5, -1.5], &[2]));
+        let y2 = g.mul(x2, x2);
+        let loss2 = g.sum_all(y2);
+        g.backward_into(loss2, &mut ws);
+        assert!(ws.len() < big_len, "workspace resized to the live tape");
+        assert_eq!(ws.len(), g.len());
+        assert_eq!(ws.get(x2).unwrap().data(), &[1.0, -3.0]);
+        // An id from the dead tape is out of bounds now, not stale data.
+        assert!(ws.get(Var(ws.len() + 1)).is_none());
+    }
+
+    #[test]
+    fn gradients_clear_empties_table() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[2.0], &[1]));
+        let y = g.mul(x, x);
+        let mut ws = g.backward(y);
+        assert!(ws.get(x).is_some());
+        ws.clear();
+        assert!(ws.is_empty());
+        assert!(ws.get(x).is_none());
+    }
+
+    #[test]
+    fn truncate_recycles_and_keeps_lower_nodes() {
+        let mut g = Graph::new();
+        let x = g.param(t(&[1.0, 2.0], &[2]));
+        let mark = g.mark();
+        for _ in 0..4 {
+            let y = g.mul(x, x);
+            let loss = g.sum_all(y);
+            let grads = g.backward(loss);
+            assert_eq!(grads.get(x).unwrap().data(), &[2.0, 4.0]);
+            g.truncate(mark);
+            assert_eq!(g.value(x).data(), &[1.0, 2.0], "below-mark value intact");
+        }
     }
 
     #[test]

@@ -10,12 +10,10 @@ use crate::tensor::Tensor;
 /// Element-wise zip of two same-shape tensors.
 pub fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "zip shape mismatch");
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data().iter())
-        .map(|(&x, &y)| f(x, y))
-        .collect();
+    let mut data = crate::pool::take(a.len());
+    for ((o, &x), &y) in data.iter_mut().zip(a.data()).zip(b.data()) {
+        *o = f(x, y);
+    }
     Tensor::new(data, a.shape())
 }
 
@@ -28,12 +26,10 @@ pub fn bcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor 
         "broadcast: {bsh:?} is not a suffix of {ash:?}"
     );
     let bn = b.len();
-    let data = a
-        .data()
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| f(x, b.data()[i % bn]))
-        .collect();
+    let mut data = crate::pool::take(a.len());
+    for (i, (o, &x)) in data.iter_mut().zip(a.data()).enumerate() {
+        *o = f(x, b.data()[i % bn]);
+    }
     Tensor::new(data, ash)
 }
 

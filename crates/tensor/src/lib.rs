@@ -33,6 +33,7 @@ pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod persist;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 

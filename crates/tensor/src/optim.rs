@@ -240,6 +240,7 @@ impl Adam {
                 let vhat = *v / bc2;
                 slot.value.data_mut()[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
+            crate::pool::recycle(g.into_data());
         }
     }
 }
@@ -267,6 +268,7 @@ impl Sgd {
                         slot.value.data_mut()[j] -= self.lr * gj;
                     }
                 }
+                crate::pool::recycle(g.into_data());
             }
         }
     }

@@ -11,10 +11,39 @@ use std::fmt;
 /// through this type. The representation is deliberately simple — a contiguous
 /// `Vec<f32>` plus a shape — so that kernels are cache-friendly loops and the
 /// autograd tape can clone values cheaply when needed.
-#[derive(Clone, PartialEq)]
+///
+/// Constructors ([`Tensor::zeros`], [`Tensor::full`], [`Tensor::map`],
+/// `clone`) draw their storage from the step-scoped buffer pool
+/// ([`crate::pool`]); dropping a tensor frees the buffer normally, but
+/// step-scoped owners ([`crate::graph::Graph`],
+/// [`crate::graph::Gradients`], the optimizers) recycle buffers back into
+/// the pool instead.
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = crate::pool::take(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // Every tensor returns its storage to the step-scoped pool, so
+        // temporaries (kernel intermediates, model-code scratch) recirculate
+        // instead of leaking pool inventory each step. [`Tensor::into_data`]
+        // empties `data` first, so callers that keep the buffer are exempt;
+        // recycling an empty Vec is a no-op.
+        crate::pool::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -58,7 +87,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
         Tensor {
-            data: vec![0.0; n],
+            data: crate::pool::take_zeroed(n),
             shape: shape.to_vec(),
         }
     }
@@ -71,18 +100,17 @@ impl Tensor {
     /// A tensor of the given shape filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let n: usize = shape.iter().product();
+        let mut data = crate::pool::take(n);
+        data.fill(value);
         Tensor {
-            data: vec![value; n],
+            data,
             shape: shape.to_vec(),
         }
     }
 
     /// A 0-dimensional-like scalar represented as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            data: vec![value],
-            shape: vec![1],
-        }
+        Self::full(&[1], value)
     }
 
     /// Borrow the underlying data slice.
@@ -97,9 +125,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consume and return the underlying buffer.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    /// Consume and return the underlying buffer (it is *not* recycled; the
+    /// caller owns it — see the [`Drop`] impl).
+    pub fn into_data(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// The tensor's shape.
@@ -175,8 +204,12 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = crate::pool::take(self.data.len());
+        for (o, &x) in data.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
+        }
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
     }

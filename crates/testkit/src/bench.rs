@@ -113,6 +113,10 @@ pub struct Harness {
     name: String,
     cfg: BenchConfig,
     threads: usize,
+    /// `(pool_hits, pool_misses, bytes_recycled)` injected by the bench
+    /// binary via [`Harness::set_pool_stats`] (testkit cannot read the
+    /// tensor pool itself: the tensor crate dev-depends on testkit).
+    pool: Option<(u64, u64, u64)>,
     results: Vec<Stats>,
 }
 
@@ -142,6 +146,7 @@ impl Harness {
             name: name.to_string(),
             cfg,
             threads,
+            pool: None,
             results: Vec::new(),
         }
     }
@@ -150,6 +155,14 @@ impl Harness {
     /// (reported as the `threads` field of the JSON output).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Record tensor-pool telemetry for the JSON report (`pool_hits`,
+    /// `pool_misses`, `bytes_recycled`). Bench binaries read these from
+    /// `ssdrec_tensor::pool::global_stats()` just before
+    /// [`Harness::finish`]; un-set values are reported as 0.
+    pub fn set_pool_stats(&mut self, hits: u64, misses: u64, bytes_recycled: u64) {
+        self.pool = Some((hits, misses, bytes_recycled));
     }
 
     /// Time `f`, which is called repeatedly; its return value is passed
@@ -224,6 +237,10 @@ impl Harness {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"harness\": \"{}\",\n", escape(&self.name)));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        let (ph, pm, pb) = self.pool.unwrap_or((0, 0, 0));
+        out.push_str(&format!("  \"pool_hits\": {ph},\n"));
+        out.push_str(&format!("  \"pool_misses\": {pm},\n"));
+        out.push_str(&format!("  \"bytes_recycled\": {pb},\n"));
         out.push_str("  \"benchmarks\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -346,6 +363,21 @@ mod tests {
         let s = h.bench("spin", || std::hint::black_box(3u64).wrapping_mul(7));
         assert!(s.wall_clock_ms > 0.0);
         assert!(h.to_json().contains("\"threads\": 4,"));
+    }
+
+    #[test]
+    fn pool_fields_default_to_zero_and_are_settable() {
+        let mut h = Harness::with_config("unit_pool", fast_cfg());
+        h.bench("a", || 1 + 1);
+        let json = h.to_json();
+        assert!(json.contains("\"pool_hits\": 0,"));
+        assert!(json.contains("\"pool_misses\": 0,"));
+        assert!(json.contains("\"bytes_recycled\": 0,"));
+        h.set_pool_stats(12, 3, 4096);
+        let json = h.to_json();
+        assert!(json.contains("\"pool_hits\": 12,"));
+        assert!(json.contains("\"pool_misses\": 3,"));
+        assert!(json.contains("\"bytes_recycled\": 4096,"));
     }
 
     #[test]

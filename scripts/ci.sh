@@ -129,6 +129,35 @@ if ! diff -u "$DET_DIR/metrics_t1.txt" "$DET_DIR/metrics_t4.txt"; then
 fi
 echo "ok: golden + CLI metrics identical at 1 and 4 threads"
 
+echo "== pool identity (pooled vs fresh CLI metrics) =="
+# The step-scoped buffer pool must never change a bit of output: a train
+# run with the pool on and one with SSDREC_POOL=0 (plain allocations) must
+# emit byte-identical metric lines.
+POOL_DIR=target/ssdrec-smoke
+mkdir -p "$POOL_DIR"
+./target/release/ssdrec train $SMOKE_FLAGS --epochs 1 \
+    | grep -E '^(valid|test)' >"$POOL_DIR/metrics_pooled.txt"
+SSDREC_POOL=0 ./target/release/ssdrec train $SMOKE_FLAGS --epochs 1 \
+    | grep -E '^(valid|test)' >"$POOL_DIR/metrics_fresh.txt"
+if ! diff -u "$POOL_DIR/metrics_pooled.txt" "$POOL_DIR/metrics_fresh.txt"; then
+    echo "pool identity FAILED: metrics differ between pooled and fresh runs"
+    exit 1
+fi
+echo "ok: pooled and fresh metrics byte-identical"
+
+echo "== bench_alloc pool-telemetry smoke =="
+# Fast mode still asserts the >= 90% steady-state hit-rate contract
+# internally; here we additionally check the JSON report parses.
+SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_alloc >/dev/null
+test -f BENCH_alloc.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json; r = json.load(open("BENCH_alloc.json")); [r[k] for k in ("pool_hits", "pool_misses", "bytes_recycled", "hit_rate_from_step2")]'
+fi
+# The smoke overwrote the committed full-mode report; restore it so CI
+# leaves the tree clean.
+git checkout -- BENCH_alloc.json 2>/dev/null || true
+echo "ok: BENCH_alloc.json written and valid"
+
 echo "== bench_runtime thread-sweep smoke =="
 SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_runtime >/dev/null
 test -f BENCH_runtime.json

@@ -10,11 +10,14 @@
 
 use std::sync::Mutex;
 
+use ssdrec::core::{SsdRec, SsdRecConfig};
+use ssdrec::data::{prepare, SyntheticConfig};
+use ssdrec::graph::{build_graph, GraphConfig};
 use ssdrec::metrics::{full_rank, par_top_k, rank_rows, top_k};
-use ssdrec::models::{evaluate, BackboneKind, RecModel, SeqRec};
+use ssdrec::models::{evaluate, train, BackboneKind, RecModel, SeqRec, TrainConfig};
 use ssdrec::serve::{Engine, EngineConfig, ServerStats};
 use ssdrec::tensor::kernels::{matmul, matmul_backward, scatter_rows};
-use ssdrec::tensor::Tensor;
+use ssdrec::tensor::{pool, save_params, Tensor};
 
 /// Serialises pool reconfiguration across `#[test]` threads.
 static POOL_LOCK: Mutex<()> = Mutex::new(());
@@ -167,6 +170,81 @@ fn top_k_selection_is_exact_at_any_thread_count() {
             .map(|&(i, s)| (i, s.to_bits()))
             .collect::<Vec<_>>()
     });
+}
+
+/// Train a tiny SSDRec end to end and fingerprint everything observable:
+/// the final training-loss bits, HR@10/NDCG@10 bits, and the exact
+/// checkpoint bytes written by `save_params`. Two epochs cross the
+/// augmentation warm-up, so the full three-stage loss path is in the
+/// fingerprint.
+fn train_fingerprint(tag: &str) -> (Vec<u32>, u64, u64, Vec<u8>) {
+    let raw = SyntheticConfig::sports()
+        .scaled(0.03)
+        .with_seed(7)
+        .generate();
+    let (dataset, split) = prepare(&raw, 50, 2);
+    let graph = build_graph(&dataset, &GraphConfig::default());
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        seed: 7,
+        ..SsdRecConfig::default()
+    };
+    let mut model = SsdRec::new(&graph, cfg);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+    let report = train(&mut model, &split, &tc);
+    let loss_bits = vec![report.final_loss.to_bits()];
+
+    let dir = std::path::Path::new("target").join("ssdrec-test");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join(format!("pool_identity_{tag}.ssdt"));
+    save_params(model.store(), &path).expect("save checkpoint");
+    let ckpt = std::fs::read(&path).expect("read checkpoint");
+    let _ = std::fs::remove_file(&path);
+
+    (
+        loss_bits,
+        report.test.hr10.to_bits(),
+        report.test.ndcg10.to_bits(),
+        ckpt,
+    )
+}
+
+/// The tentpole contract of the step-scoped arena: pooled buffers carry
+/// stale contents, so a pooled training run must still produce the exact
+/// bits — losses, metrics and checkpoint bytes — of a fresh-allocation
+/// run, at 1 thread and at 4.
+#[test]
+fn pooled_and_fresh_training_are_bit_identical() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let was = pool::is_enabled();
+    for &t in &[1usize, 4] {
+        ssdrec::runtime::set_threads(t);
+        pool::set_enabled(true);
+        let pooled = train_fingerprint(&format!("pooled_t{t}"));
+        pool::set_enabled(false);
+        let fresh = train_fingerprint(&format!("fresh_t{t}"));
+        assert_eq!(
+            pooled.0, fresh.0,
+            "epoch loss bits diverged between pooled and fresh at {t} threads"
+        );
+        assert_eq!(
+            (pooled.1, pooled.2),
+            (fresh.1, fresh.2),
+            "HR@10/NDCG@10 bits diverged between pooled and fresh at {t} threads"
+        );
+        assert_eq!(
+            pooled.3, fresh.3,
+            "checkpoint bytes diverged between pooled and fresh at {t} threads"
+        );
+    }
+    pool::set_enabled(was);
+    ssdrec::runtime::set_threads(1);
 }
 
 #[test]
