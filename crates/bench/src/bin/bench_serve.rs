@@ -197,6 +197,7 @@ fn main() {
             linger: Duration::from_millis(2),
             cache_capacity: 256,
             max_len: cfg.max_len,
+            ..EngineConfig::default()
         },
         Arc::new(ServerStats::new()),
     );

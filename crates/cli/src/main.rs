@@ -5,13 +5,20 @@
 //! ssdrec train     [--profile NAME | --file PATH --format F] [--backbone B] [--dim D]
 //!                  [--epochs E] [--batch-size B] [--max-len L] [--seed S]
 //!                  [--baseline] [--out CKPT] [--verbose]
+//!                  [--state PATH [--resume] [--checkpoint-every N]]
 //! ssdrec recommend --model CKPT --user U [--k K] (same data/arch flags as train)
 //! ssdrec denoise   (same data/arch flags as train) [--user U]
 //! ssdrec serve     --model CKPT [--addr HOST:PORT] [--workers N] [--max-batch B]
-//!                  [--linger-ms MS] [--cache N] (same data/arch flags as train)
+//!                  [--linger-ms MS] [--cache N] [--max-queue N]
+//!                  [--read-timeout-ms MS] [--write-timeout-ms MS]
+//!                  (same data/arch flags as train)
 //! ```
 //!
 //! `--baseline` trains the bare backbone instead of wrapping it in SSDRec.
+//! `--state PATH` checkpoints full training state (params, optimizer
+//! moments, RNG) every `--checkpoint-every` epochs; `--resume` continues a
+//! killed run from it **bit-identically**. The `SSDREC_FAULTS` env var arms
+//! deterministic fault injection (`site:kind:nth`, see `ssdrec_faults`).
 
 mod args;
 
@@ -22,8 +29,10 @@ use ssdrec_core::{SsdRec, SsdRecConfig};
 use ssdrec_data::{load_interactions, prepare, Dataset, LoadOptions, Split, SyntheticConfig};
 use ssdrec_denoise::Denoiser;
 use ssdrec_graph::{build_graph, GraphConfig, MultiRelationGraph};
-use ssdrec_models::{train, BackboneKind, RecModel, SeqRec, TrainConfig};
-use ssdrec_serve::{Engine, EngineConfig, InferenceModel, ServerStats};
+use ssdrec_models::{
+    train, train_with_checkpoints, BackboneKind, CheckpointConfig, RecModel, SeqRec, TrainConfig,
+};
+use ssdrec_serve::{Engine, EngineConfig, InferenceModel, ServeConfig, ServerStats};
 use ssdrec_tensor::{load_params, save_params};
 use std::sync::Arc;
 
@@ -40,7 +49,12 @@ fn usage() -> &'static str {
      --user U --k K  serving target (recommend)\n\
      --threads N     compute threads for every subcommand (default: the\n\
                      SSDREC_THREADS env var, else all available cores)\n\
-     --addr HOST:PORT --workers N --max-batch B --linger-ms MS --cache N (serve)"
+     --state PATH    training-state file for periodic checkpointing (train)\n\
+     --resume        continue bit-identically from --state if it exists\n\
+     --checkpoint-every N   epochs between state saves (default 1)\n\
+     --addr HOST:PORT --workers N --max-batch B --linger-ms MS --cache N (serve)\n\
+     --max-queue N --read-timeout-ms MS --write-timeout-ms MS (serve)\n\
+     env SSDREC_FAULTS=site:kind:nth[,...]   arm deterministic fault injection"
 }
 
 /// Apply `--threads N` (uniform across subcommands) to the runtime pool and
@@ -154,6 +168,22 @@ fn cmd_stats(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `--state PATH [--resume] [--checkpoint-every N]` → the trainer's
+/// checkpoint configuration (None when no state file was requested).
+fn checkpoint_config(a: &Args) -> Result<Option<CheckpointConfig>, String> {
+    let Some(path) = a.get("state") else {
+        if a.has_flag("resume") {
+            return Err("--resume requires --state PATH".into());
+        }
+        return Ok(None);
+    };
+    Ok(Some(CheckpointConfig {
+        path: path.into(),
+        every: a.get_parse("checkpoint-every", 1)?,
+        resume: a.has_flag("resume"),
+    }))
+}
+
 fn cmd_train(a: &Args) -> Result<(), String> {
     let prep = prepare_data(a)?;
     println!(
@@ -164,6 +194,19 @@ fn cmd_train(a: &Args) -> Result<(), String> {
         prep.split.test.len()
     );
     let tc = train_config(a)?;
+    let ckpt = checkpoint_config(a)?;
+    if let Some(c) = &ckpt {
+        let mode = if c.resume && c.path.exists() {
+            "resuming from"
+        } else {
+            "checkpointing to"
+        };
+        println!(
+            "state : {mode} {} every {} epoch(s)",
+            c.path.display(),
+            c.every.max(1)
+        );
+    }
     let (name, test, store_snapshot) = if a.has_flag("baseline") {
         let mut model = SeqRec::new(
             backbone(a)?,
@@ -172,11 +215,11 @@ fn cmd_train(a: &Args) -> Result<(), String> {
             prep.max_len,
             a.get_parse("seed", 7)?,
         );
-        let report = train(&mut model, &prep.split, &tc);
+        let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
         (model.model_name(), report, model.store)
     } else {
         let mut model = build_ssdrec(a, &prep)?;
-        let report = train(&mut model, &prep.split, &tc);
+        let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
         (model.model_name(), report, model.store)
     };
     println!("model : {name}");
@@ -290,10 +333,15 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         linger: std::time::Duration::from_millis(a.get_parse("linger-ms", 2)?),
         cache_capacity: a.get_parse("cache", 1024)?,
         max_len: prep.max_len,
+        max_queue: a.get_parse("max-queue", 1024)?,
     };
     let engine = Engine::new(model, cfg, Arc::new(ServerStats::new()));
     let addr = a.get_or("addr", "127.0.0.1:7878");
-    let handle = ssdrec_serve::serve(engine, addr).map_err(|e| e.to_string())?;
+    let serve_cfg = ServeConfig {
+        read_timeout: std::time::Duration::from_millis(a.get_parse("read-timeout-ms", 30_000)?),
+        write_timeout: std::time::Duration::from_millis(a.get_parse("write-timeout-ms", 30_000)?),
+    };
+    let handle = ssdrec_serve::serve_with(engine, addr, serve_cfg).map_err(|e| e.to_string())?;
     println!("serving on http://{}", handle.addr());
     println!("  GET  /health");
     println!("  GET  /recommend?user=U&seq=1,2,3&k=10   (or POST a JSON body)");
@@ -315,6 +363,16 @@ fn main() -> ExitCode {
     if let Err(e) = configure_threads(&args) {
         eprintln!("error: {e}\n{}", usage());
         return ExitCode::FAILURE;
+    }
+    // Chaos testing: SSDREC_FAULTS=site:kind:nth[,...] arms deterministic
+    // fault injection across every subsystem. Unset means zero overhead.
+    match ssdrec_faults::arm_from_env() {
+        Ok(0) => {}
+        Ok(n) => eprintln!("fault injection armed: {n} spec(s) from SSDREC_FAULTS"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let result = match args.command.as_deref() {
         Some("stats") => cmd_stats(&args),

@@ -560,6 +560,23 @@ impl RecModel for SsdRec {
         }
     }
 
+    // Resume support: the step counter and annealed τ are the only hidden
+    // training state (`aug_active` is recomputed by `on_epoch_start`).
+    fn train_state(&self) -> Vec<u64> {
+        vec![self.steps, self.tau.to_bits() as u64]
+    }
+
+    fn restore_train_state(&mut self, state: &[u64]) {
+        assert_eq!(
+            state.len(),
+            2,
+            "SSDRec training state must be [steps, tau_bits], got {} words",
+            state.len()
+        );
+        self.steps = state[0];
+        self.tau = f32::from_bits(state[1] as u32);
+    }
+
     fn model_name(&self) -> String {
         let mut name = format!("SSDRec[{}]", self.cfg.backbone.name());
         if !self.cfg.stage1 {

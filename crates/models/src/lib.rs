@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod backbones;
+pub mod checkpoint;
 pub mod encoder;
 pub mod model;
 pub mod trainer;
@@ -16,6 +17,7 @@ pub use backbones::{
     Bert4RecEncoder, CaserEncoder, Gru4RecEncoder, NarmEncoder, PositionalEmbedding, SasRecEncoder,
     StampEncoder,
 };
+pub use checkpoint::{load_train_state, save_train_state, CheckpointConfig, TrainState};
 pub use encoder::{BackboneKind, SeqEncoder};
 pub use model::{build_encoder, FrozenScorer, Objective, RecModel, SeqRec};
-pub use trainer::{evaluate, train, LrSchedule, TrainConfig, TrainReport};
+pub use trainer::{evaluate, train, train_with_checkpoints, LrSchedule, TrainConfig, TrainReport};

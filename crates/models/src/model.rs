@@ -50,6 +50,30 @@ pub trait RecModel {
     /// Display name.
     fn model_name(&self) -> String;
 
+    /// Opaque model-side training state beyond the parameter store, as raw
+    /// `u64` words — anything [`RecModel::after_step`] or
+    /// [`RecModel::on_epoch_start`] mutates (step counters, annealed
+    /// temperatures). Persisted in training checkpoints so `--resume`
+    /// continues bit-identically. Stateless models return an empty vec.
+    fn train_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore state captured by [`RecModel::train_state`].
+    ///
+    /// # Panics
+    /// The default (stateless) implementation panics on non-empty state:
+    /// the checkpoint was written by a model with hidden training state
+    /// this one cannot absorb.
+    fn restore_train_state(&mut self, state: &[u64]) {
+        assert!(
+            state.is_empty(),
+            "checkpoint carries {} words of model training state but {} is stateless",
+            state.len(),
+            self.model_name()
+        );
+    }
+
     /// Recommend the top-`k` items for a user given their history, as
     /// `(item, score)` pairs in descending score order. This is the
     /// serving-time API every model in the workspace shares.

@@ -7,6 +7,7 @@ use ssdrec_data::{make_batches, Example, Split};
 use ssdrec_metrics::{rank_rows, RankingAccumulator};
 use ssdrec_tensor::{Adam, Gradients, Graph, Rng};
 
+use crate::checkpoint::{self, CheckpointConfig};
 use crate::model::RecModel;
 
 /// Learning-rate schedule applied on top of the base rate.
@@ -139,7 +140,32 @@ pub fn evaluate_with<M: RecModel>(
 
 /// Train a model with Adam + early stopping; restores the best checkpoint
 /// before the final test evaluation.
+///
+/// Infallible convenience wrapper over [`train_with_checkpoints`] without
+/// periodic checkpointing (no I/O can fail).
 pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> TrainReport {
+    train_with_checkpoints(model, split, cfg, None)
+        .expect("training without a checkpoint config performs no fallible I/O")
+}
+
+/// [`train`], with optional periodic checkpointing and resume.
+///
+/// With a [`CheckpointConfig`], the full trainer state (parameters, Adam
+/// moments and step count, RNG stream, epoch/patience counters, best
+/// snapshot) is written atomically to `ckpt.path` every `ckpt.every` epochs
+/// and when training stops. With `ckpt.resume` and an existing state file,
+/// training restarts from the recorded epoch and the remainder of the run
+/// is **bit-identical** to one that was never interrupted (enforced by
+/// `tests/chaos.rs` and `tests/thread_determinism.rs`).
+///
+/// Fault sites: `ckpt.save` (inside the atomic write) and `train.epoch`
+/// (after each periodic save — arming a `panic` there simulates a kill).
+pub fn train_with_checkpoints<M: RecModel>(
+    model: &mut M,
+    split: &Split,
+    cfg: &TrainConfig,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<TrainReport, String> {
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut rng = Rng::seed(cfg.seed);
 
@@ -150,6 +176,33 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
     let mut epochs_run = 0usize;
     let mut total_train_secs = 0.0f64;
     let mut final_loss = f32::NAN;
+    let mut start_epoch = 0usize;
+
+    if let Some(c) = ckpt {
+        if c.resume && c.path.exists() {
+            let st = checkpoint::load_train_state(&c.path)
+                .map_err(|e| format!("resume from {}: {e}", c.path.display()))?;
+            st.apply_to(model)
+                .map_err(|e| format!("resume from {}: {e}", c.path.display()))?;
+            opt.set_steps(st.adam_steps);
+            rng = Rng::from_state(st.rng_state);
+            best_hr20 = st.best_hr20;
+            best_valid = st.best_valid;
+            best_snapshot = st.best_snapshot.clone();
+            since_best = st.since_best as usize;
+            total_train_secs = st.total_train_secs;
+            final_loss = st.final_loss;
+            start_epoch = st.next_epoch as usize;
+            epochs_run = start_epoch;
+            if cfg.verbose {
+                eprintln!(
+                    "[{}] resumed from {} at epoch {start_epoch}",
+                    model.model_name(),
+                    c.path.display()
+                );
+            }
+        }
+    }
 
     // One graph and one gradient workspace for the whole run: each step
     // resets the tape (recycling its buffers through the pool) instead of
@@ -157,7 +210,7 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
     let mut g = Graph::with_capacity(Graph::DEFAULT_CAPACITY);
     let mut ws = Gradients::new();
 
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         epochs_run = epoch + 1;
         model.on_epoch_start(epoch, cfg.epochs);
         let t0 = Instant::now();
@@ -204,9 +257,37 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
             since_best = 0;
         } else {
             since_best += 1;
-            if since_best >= cfg.patience {
-                break;
+        }
+        let stopping = since_best > 0 && since_best >= cfg.patience;
+
+        if let Some(c) = ckpt {
+            let every = c.every.max(1);
+            let done = epoch + 1;
+            if done % every == 0 || stopping || done == cfg.epochs {
+                let st = checkpoint::TrainState {
+                    next_epoch: done as u32,
+                    since_best: since_best as u32,
+                    adam_steps: opt.steps(),
+                    rng_state: rng.state(),
+                    best_hr20,
+                    total_train_secs,
+                    final_loss,
+                    best_valid: best_valid.clone(),
+                    model_state: model.train_state(),
+                    params: checkpoint::TrainState::capture_params(model),
+                    best_snapshot: best_snapshot.clone(),
+                };
+                checkpoint::save_train_state(&st, &c.path)
+                    .map_err(|e| format!("checkpoint to {}: {e}", c.path.display()))?;
+                // Kill-simulation hook: arming `train.epoch:panic:N` aborts
+                // the run right after the Nth save, exactly like a crash
+                // between epochs; an `error` kind surfaces as Err instead.
+                ssdrec_faults::point("train.epoch").map_err(|e| e.to_string())?;
             }
+        }
+
+        if stopping {
+            break;
         }
     }
 
@@ -216,7 +297,7 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
     let tacc = evaluate_with(model, &split.test, cfg.batch_size, &mut g);
     let infer_secs = t0.elapsed().as_secs_f64();
 
-    TrainReport {
+    Ok(TrainReport {
         epochs_run,
         valid: best_valid,
         test: tacc.report(),
@@ -228,7 +309,7 @@ pub fn train<M: RecModel>(model: &mut M, split: &Split, cfg: &TrainConfig) -> Tr
         },
         infer_secs,
         final_loss,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,10 +1,63 @@
 //! A minimal blocking HTTP client over `std::net`, used by the load
 //! generator, the CI smoke test, and the integration tests — the workspace
 //! has no `curl` dependency.
+//!
+//! Failures are **typed** ([`ClientError`]): connect vs. transport I/O vs.
+//! a truncated response vs. a malformed one, so callers (and the retry
+//! layer) can tell a retryable fault from a broken request.
+//! [`request_with_retry`] adds deterministic exponential backoff with
+//! jitter drawn from the testkit RNG: the same [`RetryPolicy`] seed always
+//! produces the same delay sequence.
 
-use std::io::{self, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use ssdrec_testkit::Rng;
+
+/// Why an HTTP request failed, separated by phase so callers can decide
+/// what is retryable (everything here is transport-level; HTTP error
+/// statuses are returned as `Ok((status, body))`).
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect failed (server not up yet, port closed).
+    Connect(std::io::Error),
+    /// The socket failed mid-request or mid-response (reset, timeout).
+    Io(std::io::Error),
+    /// The connection closed before a complete response arrived: either no
+    /// `\r\n\r\n` header terminator, or fewer body bytes than the response's
+    /// `Content-Length` declared.
+    Truncated {
+        /// Bytes received before the peer closed the connection.
+        bytes_read: usize,
+        /// What was missing when the stream ended.
+        what: &'static str,
+    },
+    /// A complete response arrived but could not be parsed.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Truncated { bytes_read, what } => {
+                write!(f, "truncated response: connection closed after {bytes_read} byte(s), missing {what}")
+            }
+            ClientError::BadResponse(m) => write!(f, "malformed response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Connect(e) | ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Issue one `Connection: close` request and return `(status, body)`.
 pub fn request(
@@ -12,39 +65,241 @@ pub fn request(
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+) -> Result<(u16, String), ClientError> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(10)).map_err(ClientError::Connect)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(ClientError::Io)?;
     let body = body.unwrap_or("");
     write!(
         stream,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    )?;
-    stream.flush()?;
+    )
+    .map_err(ClientError::Io)?;
+    stream.flush().map_err(ClientError::Io)?;
 
     let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8(raw)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
-    let (head, response_body) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    stream.read_to_end(&mut raw).map_err(ClientError::Io)?;
+    parse_response(&raw)
+}
+
+/// Parse a complete `Connection: close` response buffer. Split out of
+/// [`request`] so the truncation paths are unit-testable without sockets.
+fn parse_response(raw: &[u8]) -> Result<(u16, String), ClientError> {
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| ClientError::BadResponse("non-UTF-8 response".into()))?;
+    let Some((head, response_body)) = text.split_once("\r\n\r\n") else {
+        // EOF before the header block finished: the server died or a write
+        // fault cut the response short. Distinct from BadResponse — this
+        // one is retryable.
+        return Err(ClientError::Truncated {
+            bytes_read: raw.len(),
+            what: "header terminator",
+        });
+    };
     let status_line = head.lines().next().unwrap_or("");
     let status: u16 = status_line
         .split_ascii_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line {status_line:?}")))?;
+    // `Connection: close` responses end at EOF, but the declared
+    // Content-Length still lets us detect a partial body.
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let want: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::BadResponse("bad Content-Length".into()))?;
+                if response_body.len() < want {
+                    return Err(ClientError::Truncated {
+                        bytes_read: raw.len(),
+                        what: "response body",
+                    });
+                }
+            }
+        }
+    }
     Ok((status, response_body.to_string()))
 }
 
 /// `GET path` on a running server.
-pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+pub fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), ClientError> {
     request(addr, "GET", path, None)
 }
 
 /// `POST path` with a JSON body.
-pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(u16, String)> {
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), ClientError> {
     request(addr, "POST", path, Some(body))
+}
+
+/// Deterministic exponential backoff with jitter for [`request_with_retry`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Multiplier per retry (2.0 = classic exponential backoff).
+    pub factor: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor drawn
+    /// uniformly from `[1 - jitter, 1]`, decorrelating clients that fail
+    /// at the same instant.
+    pub jitter: f64,
+    /// Seed for the testkit RNG the jitter is drawn from — the same seed
+    /// yields the same delay sequence, so chaos tests are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            factor: 2.0,
+            jitter: 0.5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The exact backoff delays this policy will sleep between attempts
+    /// (`max_attempts - 1` entries). Pure function of the policy fields.
+    pub fn backoff_delays(&self) -> Vec<Duration> {
+        let mut rng = Rng::seed(self.seed);
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|i| {
+                let exp = self.base_delay.as_secs_f64() * self.factor.powi(i as i32);
+                let scale = 1.0 - self.jitter * rng.next_f64();
+                Duration::from_secs_f64(exp * scale)
+            })
+            .collect()
+    }
+}
+
+/// [`request`], retried under `policy`. Retries every transport-level
+/// [`ClientError`] and HTTP `503 Service Unavailable` (load shedding);
+/// any other status — including 4xx/5xx — is a definitive answer and is
+/// returned as-is. Returns the last error when every attempt fails.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+) -> Result<(u16, String), ClientError> {
+    assert!(policy.max_attempts >= 1, "need at least one attempt");
+    let delays = policy.backoff_delays();
+    let mut last_err = None;
+    for (attempt, delay) in delays
+        .iter()
+        .map(Some)
+        .chain(std::iter::once(None))
+        .enumerate()
+    {
+        match request(addr, method, path, body) {
+            Ok((503, body)) => {
+                last_err = Some(ClientError::BadResponse(format!(
+                    "503 after retries: {body}"
+                )));
+                if attempt as u32 + 1 >= policy.max_attempts {
+                    return Ok((503, body));
+                }
+            }
+            Ok(ok) => return Ok(ok),
+            Err(e) => {
+                last_err = Some(e);
+            }
+        }
+        match delay {
+            Some(d) => std::thread::sleep(*d),
+            None => break,
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_headers_are_typed() {
+        let e = parse_response(b"HTTP/1.1 200 OK\r\nContent-Le").unwrap_err();
+        match e {
+            ClientError::Truncated { bytes_read, what } => {
+                assert_eq!(bytes_read, b"HTTP/1.1 200 OK\r\nContent-Le".len());
+                assert_eq!(what, "header terminator");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_typed() {
+        let e = parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(
+            e,
+            ClientError::Truncated {
+                what: "response body",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn complete_response_parses() {
+        let (status, body) =
+            parse_response(b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\n\r\nhi")
+                .unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "hi");
+    }
+
+    #[test]
+    fn bad_status_line_is_not_truncation() {
+        let e = parse_response(b"garbage\r\n\r\nbody").unwrap_err();
+        assert!(matches!(e, ClientError::BadResponse(_)));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_delays();
+        let b = policy.backoff_delays();
+        assert_eq!(a, b, "same seed must give the same delays");
+        assert_eq!(a.len(), 3);
+        // Jitter only shrinks: delay i is within (1-jitter)·base·2^i ..= base·2^i.
+        for (i, d) in a.iter().enumerate() {
+            let nominal = 0.010 * 2f64.powi(i as i32);
+            assert!(d.as_secs_f64() <= nominal + 1e-9, "delay {i} above nominal");
+            assert!(
+                d.as_secs_f64() >= nominal * 0.5 - 1e-9,
+                "delay {i} below jitter floor"
+            );
+        }
+        let other = RetryPolicy {
+            seed: 999,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(
+            a,
+            other.backoff_delays(),
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn connect_refused_is_typed() {
+        // Port 1 on localhost is essentially never listening.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        match request(addr, "GET", "/health", None) {
+            Err(ClientError::Connect(_)) => {}
+            other => panic!("expected Connect error, got {other:?}"),
+        }
+    }
 }

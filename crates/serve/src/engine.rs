@@ -28,6 +28,43 @@ use ssdrec_tensor::{Binding, Graph, ParamStore, Var};
 use crate::cache::SessionCache;
 use crate::stats::ServerStats;
 
+/// Why a recommendation request failed, mapped to an HTTP status by the
+/// front-end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecError {
+    /// The request itself is invalid (empty history, out-of-range IDs…).
+    BadRequest(String),
+    /// The engine shed the request because its queue is over the bound —
+    /// retryable, served as `503 Service Unavailable`.
+    Overloaded,
+    /// The engine failed while processing an otherwise valid request
+    /// (worker died mid-batch, engine shut down).
+    Internal(String),
+}
+
+impl RecError {
+    /// The HTTP status this error maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            RecError::BadRequest(_) => 400,
+            RecError::Overloaded => 503,
+            RecError::Internal(_) => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for RecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecError::BadRequest(m) => write!(f, "{m}"),
+            RecError::Overloaded => write!(f, "overloaded: request queue is full, retry later"),
+            RecError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RecError {}
+
 /// A servable model: SSDRec or a bare-backbone baseline.
 pub enum InferenceModel {
     /// The full three-stage SSDRec model.
@@ -126,6 +163,10 @@ pub struct EngineConfig {
     /// Histories longer than this are truncated to their most recent
     /// `max_len` items (must match the trained model's `max_len`).
     pub max_len: usize,
+    /// Load-shedding bound: requests arriving while this many are already
+    /// queued for the workers are rejected with [`RecError::Overloaded`]
+    /// (HTTP 503) instead of growing the queue without limit.
+    pub max_queue: usize,
 }
 
 impl Default for EngineConfig {
@@ -136,6 +177,7 @@ impl Default for EngineConfig {
             linger: Duration::from_millis(2),
             cache_capacity: 1024,
             max_len: 50,
+            max_queue: 1024,
         }
     }
 }
@@ -172,6 +214,9 @@ pub struct Engine {
     workers: Mutex<Vec<JoinHandle<()>>>,
     cache: Mutex<SessionCache>,
     stats: Arc<ServerStats>,
+    /// Jobs enqueued but not yet picked up by a worker (load-shedding
+    /// signal; incremented on send, decremented on dequeue).
+    queue_depth: Arc<AtomicUsize>,
 }
 
 impl Engine {
@@ -180,9 +225,11 @@ impl Engine {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.max_batch >= 1, "max_batch must be ≥ 1");
         assert!(cfg.max_len >= 1, "max_len must be ≥ 1");
+        assert!(cfg.max_queue >= 1, "max_queue must be ≥ 1");
         let model = Arc::new(model);
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let queue_depth = Arc::new(AtomicUsize::new(0));
         // Shared graph high-water mark: every worker publishes the largest
         // tape it has seen, and later workers (or restarts) pre-size their
         // node Vec from it instead of the hard-coded default.
@@ -194,10 +241,32 @@ impl Engine {
                 let stats = Arc::clone(&stats);
                 let busy = stats.register_worker();
                 let hwm = Arc::clone(&hwm);
+                let depth = Arc::clone(&queue_depth);
                 let (max_batch, linger) = (cfg.max_batch, cfg.linger);
                 std::thread::Builder::new()
                     .name(format!("ssdrec-worker-{i}"))
-                    .spawn(move || worker_loop(&model, &rx, &stats, &busy, &hwm, max_batch, linger))
+                    .spawn(move || {
+                        // Panic containment: a panicking forward pass (or an
+                        // injected `engine.batch` panic fault) kills only the
+                        // current worker_loop invocation. The outer loop
+                        // respawns it — rebuilding the frozen graph at the
+                        // top of worker_loop — without dropping the shared
+                        // queue, so already-enqueued jobs still get served.
+                        loop {
+                            let ran =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker_loop(
+                                        &model, &rx, &stats, &busy, &hwm, &depth, max_batch, linger,
+                                    )
+                                }));
+                            match ran {
+                                Ok(()) => return, // channel closed: shutdown
+                                Err(_) => {
+                                    stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -208,6 +277,7 @@ impl Engine {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
             stats,
+            queue_depth,
         }
     }
 
@@ -240,18 +310,25 @@ impl Engine {
         Ok(())
     }
 
+    /// Jobs currently enqueued for the workers (load-shedding signal).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
     /// Answer one request: validate, consult the session cache, otherwise
-    /// enqueue for a batched forward pass and wait for the result.
+    /// enqueue for a batched forward pass and wait for the result. Sheds
+    /// with [`RecError::Overloaded`] when the queue is over
+    /// [`EngineConfig::max_queue`].
     pub fn recommend(
         &self,
         user: usize,
         seq: &[usize],
         k: usize,
-    ) -> Result<Arc<Recommendation>, String> {
+    ) -> Result<Arc<Recommendation>, RecError> {
         let start = Instant::now();
         if let Err(e) = self.validate(user, seq, k) {
             self.stats.errors_total.fetch_add(1, Ordering::Relaxed);
-            return Err(e);
+            return Err(RecError::BadRequest(e));
         }
         // Serve from the most recent max_len items, the same window the
         // model was trained on.
@@ -264,21 +341,41 @@ impl Engine {
             return Ok(hit);
         }
 
-        let tx = lock(&self.tx)
-            .as_ref()
-            .cloned()
-            .ok_or("engine is shut down")?;
+        // Shed before enqueueing: claim a queue slot, back out if over
+        // the bound. A 503 is retryable; an unbounded queue is a latency
+        // collapse and eventually an OOM.
+        if self.queue_depth.fetch_add(1, Ordering::SeqCst) >= self.cfg.max_queue {
+            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            self.stats.shed_total.fetch_add(1, Ordering::Relaxed);
+            return Err(RecError::Overloaded);
+        }
+
+        let undo_depth = || {
+            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        };
+        let tx = match lock(&self.tx).as_ref().cloned() {
+            Some(tx) => tx,
+            None => {
+                undo_depth();
+                return Err(RecError::Internal("engine is shut down".into()));
+            }
+        };
         let (resp_tx, resp_rx) = mpsc::channel();
-        tx.send(Job {
-            user,
-            seq: seq.to_vec(),
-            k,
-            resp: resp_tx,
-        })
-        .map_err(|_| "engine is shut down")?;
+        if tx
+            .send(Job {
+                user,
+                seq: seq.to_vec(),
+                k,
+                resp: resp_tx,
+            })
+            .is_err()
+        {
+            undo_depth();
+            return Err(RecError::Internal("engine is shut down".into()));
+        }
         let rec = resp_rx
             .recv()
-            .map_err(|_| "worker failed while scoring the request".to_string())?;
+            .map_err(|_| RecError::Internal("worker failed while scoring the request".into()))?;
 
         lock(&self.cache).put(user, seq.to_vec(), k, Arc::clone(&rec));
         self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -314,38 +411,50 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 /// Block for the first job, then linger briefly to coalesce whatever else
 /// is queued, up to `max_batch`. Empty result means the channel closed.
-fn drain_jobs(rx: &Mutex<Receiver<Job>>, max_batch: usize, linger: Duration) -> Vec<Job> {
+/// Each dequeued job releases one queue-depth slot.
+fn drain_jobs(
+    rx: &Mutex<Receiver<Job>>,
+    depth: &AtomicUsize,
+    max_batch: usize,
+    linger: Duration,
+) -> Vec<Job> {
     let rx = lock(rx);
     let first = match rx.recv() {
         Ok(j) => j,
         Err(_) => return Vec::new(),
     };
+    depth.fetch_sub(1, Ordering::SeqCst);
     let mut jobs = vec![first];
     let deadline = Instant::now() + linger;
     while jobs.len() < max_batch {
         let left = deadline.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            match rx.try_recv() {
-                Ok(j) => jobs.push(j),
-                Err(_) => break,
-            }
+        let next = if left.is_zero() {
+            rx.try_recv().ok()
         } else {
             match rx.recv_timeout(left) {
-                Ok(j) => jobs.push(j),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+                Ok(j) => Some(j),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
             }
+        };
+        match next {
+            Some(j) => {
+                depth.fetch_sub(1, Ordering::SeqCst);
+                jobs.push(j);
+            }
+            None => break,
         }
     }
     jobs
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     model: &InferenceModel,
     rx: &Mutex<Receiver<Job>>,
     stats: &ServerStats,
     busy_us: &std::sync::atomic::AtomicU64,
     hwm: &AtomicUsize,
+    depth: &AtomicUsize,
     max_batch: usize,
     linger: Duration,
 ) {
@@ -355,9 +464,15 @@ fn worker_loop(
     let mark = g.mark();
 
     loop {
-        let jobs = drain_jobs(rx, max_batch, linger);
+        let jobs = drain_jobs(rx, depth, max_batch, linger);
         if jobs.is_empty() {
             return; // engine shut down
+        }
+        // Chaos hook: `engine.batch:error:N` drops this round's jobs (their
+        // responders close, callers see an internal error);
+        // `engine.batch:panic:N` unwinds through the respawn loop above.
+        if ssdrec_faults::point("engine.batch").is_err() {
+            continue;
         }
         // Busy time starts once there is work; idle blocking in
         // drain_jobs is excluded from the /metrics busy fraction.

@@ -31,6 +31,7 @@ pub mod json;
 pub mod server;
 pub mod stats;
 
-pub use engine::{Engine, EngineConfig, InferenceModel, Recommendation};
-pub use server::{serve, ServerHandle};
+pub use client::{request_with_retry, ClientError, RetryPolicy};
+pub use engine::{Engine, EngineConfig, InferenceModel, RecError, Recommendation};
+pub use server::{serve, serve_with, ServeConfig, ServerHandle};
 pub use stats::{LatencyHistogram, ServerStats};

@@ -22,8 +22,28 @@ use crate::engine::{Engine, Recommendation};
 use crate::http::{read_request, write_json, Request};
 use crate::json::{self, Json};
 
+/// Connection-handling knobs for the HTTP front-end.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Per-connection socket read timeout: a client that stalls mid-request
+    /// (slowloris, dead peer) is dropped instead of pinning its thread.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
 struct Shared {
     engine: Engine,
+    cfg: ServeConfig,
     stop: AtomicBool,
     addr: SocketAddr,
 }
@@ -81,12 +101,19 @@ impl Drop for ServerHandle {
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve the
-/// engine until shut down. Returns as soon as the listener is accepting.
+/// engine until shut down, with default connection timeouts. Returns as
+/// soon as the listener is accepting.
 pub fn serve(engine: Engine, addr: &str) -> io::Result<ServerHandle> {
+    serve_with(engine, addr, ServeConfig::default())
+}
+
+/// [`serve`] with explicit connection-handling configuration.
+pub fn serve_with(engine: Engine, addr: &str, cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         engine,
+        cfg,
         stop: AtomicBool::new(false),
         addr,
     });
@@ -112,21 +139,50 @@ pub fn serve(engine: Engine, addr: &str) -> io::Result<ServerHandle> {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let req = match read_request(&mut stream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    // Chaos hook `serve.read`: an injected fault here behaves exactly like
+    // a socket-level read failure — the request is never parsed, the
+    // connection is answered with a 500 and closed, and the server keeps
+    // accepting (the retrying client turns this into one extra attempt).
+    let read = ssdrec_faults::point("serve.read")
+        .map_err(io::Error::from)
+        .and_then(|()| read_request(&mut stream));
+    let req = match read {
         Ok(Some(req)) => req,
         Ok(None) => return,
         Err(e) => {
+            let status = if e.kind() == io::ErrorKind::InvalidData {
+                400
+            } else {
+                shared
+                    .engine
+                    .stats()
+                    .io_faults
+                    .fetch_add(1, Ordering::Relaxed);
+                500
+            };
             let _ = write_json(
                 &mut stream,
-                400,
+                status,
                 &format!("{{\"error\":{}}}", json::quote(&e.to_string())),
             );
             return;
         }
     };
     let (status, body) = route(&req, shared);
-    let _ = write_json(&mut stream, status, &body);
+    // Chaos hook `serve.write`: drop the response on the floor, as a broken
+    // pipe would — the client sees a truncated response (typed
+    // `ClientError`) and retries.
+    if ssdrec_faults::point("serve.write").is_err() {
+        shared
+            .engine
+            .stats()
+            .io_faults
+            .fetch_add(1, Ordering::Relaxed);
+    } else {
+        let _ = write_json(&mut stream, status, &body);
+    }
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -144,7 +200,10 @@ fn route(req: &Request, shared: &Shared) -> (u16, String) {
         ("GET" | "POST", "/recommend") => match parse_recommend(req) {
             Ok((user, seq, k)) => match shared.engine.recommend(user, &seq, k) {
                 Ok(rec) => (200, recommendation_json(&rec)),
-                Err(e) => (400, format!("{{\"error\":{}}}", json::quote(&e))),
+                Err(e) => (
+                    e.http_status(),
+                    format!("{{\"error\":{}}}", json::quote(&e.to_string())),
+                ),
             },
             Err(e) => {
                 // Malformed before reaching the engine: count it here.

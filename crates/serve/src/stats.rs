@@ -109,6 +109,15 @@ pub struct ServerStats {
     pub max_batch: AtomicU64,
     /// Malformed or rejected requests.
     pub errors_total: AtomicU64,
+    /// Worker threads that panicked and were respawned (the queue and the
+    /// other requests survive; see the engine's respawn loop).
+    pub worker_panics: AtomicU64,
+    /// Requests shed with `503` because the worker queue was over
+    /// `max_queue`.
+    pub shed_total: AtomicU64,
+    /// Connection-level I/O failures (read/write faults or timeouts) the
+    /// server absorbed without dying.
+    pub io_faults: AtomicU64,
     /// Per-worker busy time in µs, one counter per registered worker
     /// thread. Registered once by the engine at startup.
     worker_busy_us: Mutex<Vec<Arc<AtomicU64>>>,
@@ -133,6 +142,9 @@ impl ServerStats {
             batched_requests_total: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             errors_total: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            io_faults: AtomicU64::new(0),
             worker_busy_us: Mutex::new(Vec::new()),
         }
     }
@@ -210,6 +222,8 @@ impl ServerStats {
                 "\"batching\":{{\"batches_total\":{},\"batched_requests_total\":{},\"max_batch\":{}}},",
                 "\"workers\":{},",
                 "\"pool\":{{\"pool_hits\":{},\"pool_misses\":{},\"bytes_recycled\":{}}},",
+                "\"faults\":{{\"worker_panics\":{},\"shed_total\":{},\"io_faults\":{},",
+                "\"injected_total\":{}}},",
                 "\"errors_total\":{}}}"
             ),
             f64_to_json(self.uptime_secs()),
@@ -229,6 +243,10 @@ impl ServerStats {
             pool.hits,
             pool.misses,
             pool.bytes_recycled,
+            get(&self.worker_panics),
+            get(&self.shed_total),
+            get(&self.io_faults),
+            ssdrec_faults::total_fired(),
             get(&self.errors_total),
         )
     }
@@ -315,6 +333,20 @@ mod tests {
         let f1 = fracs[1].as_f64().unwrap();
         assert!((0.0..=1.0).contains(&f0));
         assert_eq!(f1, 0.0);
+    }
+
+    #[test]
+    fn faults_section_reports_recovery_counters() {
+        let s = ServerStats::new();
+        s.worker_panics.fetch_add(2, Ordering::Relaxed);
+        s.shed_total.fetch_add(5, Ordering::Relaxed);
+        s.io_faults.fetch_add(1, Ordering::Relaxed);
+        let j = crate::json::parse(&s.to_json()).expect("valid JSON");
+        let faults = j.get("faults").expect("faults section");
+        assert_eq!(faults.get("worker_panics").unwrap().as_usize(), Some(2));
+        assert_eq!(faults.get("shed_total").unwrap().as_usize(), Some(5));
+        assert_eq!(faults.get("io_faults").unwrap().as_usize(), Some(1));
+        assert!(faults.get("injected_total").unwrap().as_usize().is_some());
     }
 
     #[test]

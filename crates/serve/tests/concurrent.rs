@@ -22,6 +22,7 @@ fn start_server(linger_ms: u64, workers: usize) -> ssdrec_serve::ServerHandle {
             linger: Duration::from_millis(linger_ms),
             cache_capacity: 64,
             max_len: 10,
+            ..EngineConfig::default()
         },
         Arc::new(ServerStats::new()),
     );

@@ -126,6 +126,35 @@ impl ParamStore {
         self.slots.iter().any(|s| s.value.has_non_finite())
     }
 
+    /// The Adam moment estimates `(m, v)` of a parameter, for checkpointing.
+    pub fn moments(&self, p: ParamRef) -> (&Tensor, &Tensor) {
+        let slot = &self.slots[p.0];
+        (&slot.m, &slot.v)
+    }
+
+    /// Restore the Adam moment estimates of a parameter (resume-from-
+    /// checkpoint path).
+    ///
+    /// # Panics
+    /// Panics if either tensor's shape differs from the parameter's.
+    pub fn set_moments(&mut self, p: ParamRef, m: Tensor, v: Tensor) {
+        let slot = &mut self.slots[p.0];
+        assert_eq!(
+            m.shape(),
+            slot.value.shape(),
+            "moment m shape mismatch for {}",
+            slot.name
+        );
+        assert_eq!(
+            v.shape(),
+            slot.value.shape(),
+            "moment v shape mismatch for {}",
+            slot.name
+        );
+        slot.m = m;
+        slot.v = v;
+    }
+
     /// Snapshot all parameter values (e.g. for early-stopping restore).
     pub fn snapshot(&self) -> Vec<Tensor> {
         self.slots.iter().map(|s| s.value.clone()).collect()
@@ -190,6 +219,12 @@ impl Adam {
     /// Number of updates applied so far.
     pub fn steps(&self) -> u64 {
         self.step
+    }
+
+    /// Restore the update counter from a checkpoint. Bias correction depends
+    /// on it, so a resumed run must set it before the first `step`.
+    pub fn set_steps(&mut self, steps: u64) {
+        self.step = steps;
     }
 
     /// Apply one update from the gradients of a completed backward pass.

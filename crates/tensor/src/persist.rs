@@ -40,27 +40,59 @@ fn err(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Serialise every parameter of `store` to `path`.
+/// Atomically write a file: the payload goes to `<path>.tmp`, is flushed,
+/// and only then renamed over `path`. A crash or injected fault at any point
+/// (fault site `fault_site`, fired between flush and rename — the widest
+/// window) leaves the original file untouched; the temp file is removed on
+/// error.
+pub fn atomic_write(
+    path: &Path,
+    fault_site: &str,
+    write_fn: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write_fn(&mut w)?;
+        w.flush()?;
+        ssdrec_faults::point(fault_site)?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Serialise every parameter of `store` to `path` (atomic: temp file +
+/// rename, so a partially written checkpoint never replaces a good one).
 pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
+    atomic_write(path.as_ref(), "persist.save", |w| write_store(store, w))
+}
+
+fn write_store(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    write_u32(&mut w, VERSION)?;
-    write_u32(&mut w, store.num_tensors() as u32)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, store.num_tensors() as u32)?;
     for i in 0..store.num_tensors() {
         let r = crate::optim::ParamStore::param_ref_by_index(i);
         let name = store.name(r);
         let t = store.get(r);
-        write_u32(&mut w, name.len() as u32)?;
+        write_u32(w, name.len() as u32)?;
         w.write_all(name.as_bytes())?;
-        write_u32(&mut w, t.ndim() as u32)?;
+        write_u32(w, t.ndim() as u32)?;
         for &d in t.shape() {
-            write_u32(&mut w, d as u32)?;
+            write_u32(w, d as u32)?;
         }
         for &x in t.data() {
             w.write_all(&x.to_le_bytes())?;
         }
     }
-    w.flush()
+    Ok(())
 }
 
 /// Load a checkpoint into `store`. Names, order and shapes must match the
@@ -236,6 +268,36 @@ mod tests {
             msg.contains("layer.w") && msg.contains("shape"),
             "error lacks context: {msg}"
         );
+    }
+
+    #[test]
+    fn faulted_save_leaves_original_untouched() {
+        use ssdrec_testkit::fault::FaultPlan;
+        let dir = std::env::temp_dir().join("ssdrec_persist_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.ssdt");
+        let tmp = dir.join("ckpt.ssdt.tmp");
+
+        let store = demo_store();
+        save_params(&store, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut changed = demo_store();
+        changed
+            .get_mut(ParamStore::param_ref_by_index(0))
+            .data_mut()[0] = 7.0;
+        {
+            let _armed = FaultPlan::new().error("persist.save", 1).arm();
+            let e = save_params(&changed, &path).unwrap_err();
+            assert!(e.to_string().contains("persist.save"), "{e}");
+        }
+        // Original bytes intact, no temp file left behind.
+        assert_eq!(std::fs::read(&path).unwrap(), good);
+        assert!(!tmp.exists(), "temp file not cleaned up");
+
+        // After disarm the save succeeds and replaces the file atomically.
+        save_params(&changed, &path).unwrap();
+        assert_ne!(std::fs::read(&path).unwrap(), good);
     }
 
     #[test]

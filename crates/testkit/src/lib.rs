@@ -21,6 +21,10 @@
 //! * [`bench`] — a criterion-style timer ([`bench::Harness`]) with warm-up,
 //!   auto-calibrated iteration counts, median/p95 reporting and JSON output
 //!   for `harness = false` bench targets.
+//! * [`fault`] — test-side hooks for the `ssdrec-faults` injection runtime:
+//!   the [`fault::FaultPlan`] builder (programmatic or parsed from the
+//!   `SSDREC_FAULTS` spec format), an RAII arming guard that serialises
+//!   chaos tests behind a global lock, and fire-count assertions.
 //!
 //! The workspace-level invariant this crate exists to protect:
 //! `CARGO_NET_OFFLINE=true cargo build --release && cargo test -q` passes
@@ -30,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod gradcheck;
 pub mod prop;
 pub mod rng;

@@ -75,6 +75,19 @@ impl Rng {
         Rng::seed(self.next_u64())
     }
 
+    /// The raw 256-bit generator state, for checkpointing. Restoring it with
+    /// [`Rng::from_state`] resumes the draw sequence exactly where it left
+    /// off (no draws are consumed by either call).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured with [`Rng::state`].
+    pub fn from_state(s: [u64; 4]) -> Rng {
+        assert!(s != [0; 4], "xoshiro256** state must not be all-zero");
+        Rng { s }
+    }
+
     /// Uniform `f32` in `[0, 1)` from the top 24 bits. One draw.
     pub fn next_f32(&mut self) -> f32 {
         (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)

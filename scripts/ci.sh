@@ -10,11 +10,15 @@
 #   6. Serve smoke: train a tiny checkpoint, serve it on an ephemeral
 #      port, issue one request over bash /dev/tcp (no curl), assert a
 #      well-formed response, shut down cleanly.
-#   7. bench_serve latency-report smoke (writes target/ssdrec-bench/).
-#   8. Thread determinism: the golden HR@10/NDCG@10 test and a CLI train
+#   7. Chaos smoke: re-serve the checkpoint with SSDREC_FAULTS arming one
+#      read fault and one worker panic; retry until the response matches
+#      the fault-free baseline byte-for-byte and /metrics reports the
+#      recovery counters.
+#   8. bench_serve latency-report smoke (writes target/ssdrec-bench/).
+#   9. Thread determinism: the golden HR@10/NDCG@10 test and a CLI train
 #      run must produce byte-identical metrics under SSDREC_THREADS=1
 #      and SSDREC_THREADS=4.
-#   9. bench_runtime smoke: the thread sweep runs in fast mode and
+#  10. bench_runtime smoke: the thread sweep runs in fast mode and
 #      BENCH_runtime.json at the repo root parses as JSON.
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
@@ -105,6 +109,67 @@ cat <&3 >/dev/null
 exec 3<&- 3>&-
 wait "$SERVE_PID"
 echo "ok: served a request on $ADDR and shut down cleanly"
+
+echo "== chaos smoke (SSDREC_FAULTS: injected faults + recovery) =="
+# The serve-smoke response doubles as the fault-free baseline: scores are
+# bit-identical across server instances of the same checkpoint.
+BASELINE=$(printf '%s' "$RESP" | awk 'body {print} /^\r?$/ {body=1}')
+if [ -z "$BASELINE" ]; then
+    echo "chaos smoke FAILED: could not extract the baseline body"
+    exit 1
+fi
+SSDREC_FAULTS="serve.read:error:1,engine.batch:panic:1" \
+    ./target/release/ssdrec serve $SMOKE_FLAGS --model "$SMOKE_DIR/ckpt.ssdt" \
+    --addr 127.0.0.1:0 --workers 1 --cache 0 >"$SMOKE_DIR/chaos.log" 2>&1 &
+CHAOS_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's#^serving on http://##p' "$SMOKE_DIR/chaos.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "chaos smoke FAILED: faulted server did not announce its address"
+    kill "$CHAOS_PID" 2>/dev/null || true
+    exit 1
+fi
+PORT=${ADDR##*:}
+# Retry through the armed plan: one attempt dies on the injected read
+# fault, one panics the worker mid-batch, and the respawned worker must
+# then serve the exact baseline bytes.
+BODY=""
+TRIES=0
+for _ in $(seq 1 20); do
+    TRIES=$((TRIES + 1))
+    BODY=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+              printf 'GET /recommend?user=0&seq=1&k=5 HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n' >&3 &&
+              cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } 2>/dev/null ) || true
+    [ "$BODY" = "$BASELINE" ] && break
+    sleep 0.1
+done
+if [ "$BODY" != "$BASELINE" ]; then
+    echo "chaos smoke FAILED: response never recovered to the baseline after $TRIES attempts"
+    echo "  baseline: $BASELINE"
+    echo "  last    : $BODY"
+    kill "$CHAOS_PID" 2>/dev/null || true
+    exit 1
+fi
+METRICS=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+             printf 'GET /metrics HTTP/1.1\r\nHost: chaos\r\nConnection: close\r\n\r\n' >&3 &&
+             cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } )
+for want in '"worker_panics":1' '"injected_total":2'; do
+    if ! printf '%s' "$METRICS" | grep -qF "$want"; then
+        echo "chaos smoke FAILED: /metrics missing $want: $METRICS"
+        kill "$CHAOS_PID" 2>/dev/null || true
+        exit 1
+    fi
+done
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'POST /shutdown HTTP/1.1\r\nHost: chaos\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3
+cat <&3 >/dev/null
+exec 3<&- 3>&-
+wait "$CHAOS_PID"
+echo "ok: recovered to baseline bytes in $TRIES attempt(s); worker respawned after injected panic"
 
 echo "== bench_serve latency smoke =="
 SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_serve >/dev/null

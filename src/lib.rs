@@ -18,6 +18,7 @@
 //! | [`metrics`] | `ssdrec-metrics` | HR/NDCG/MRR, t-tests, OUP ratios |
 //! | [`runtime`] | `ssdrec-runtime` | thread pool + deterministic parallel kernels |
 //! | [`serve`] | `ssdrec-serve` | the online inference HTTP server |
+//! | [`faults`] | `ssdrec-faults` | deterministic fault-injection sites for chaos testing |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@
 pub use ssdrec_core as core;
 pub use ssdrec_data as data;
 pub use ssdrec_denoise as denoise;
+pub use ssdrec_faults as faults;
 pub use ssdrec_graph as graph;
 pub use ssdrec_metrics as metrics;
 pub use ssdrec_models as models;

@@ -1,0 +1,363 @@
+//! The chaos suite: deterministic fault injection against the two
+//! crash-sensitive subsystems.
+//!
+//! * **Training**: a run killed by an injected panic mid-training and then
+//!   `--resume`d must finish **byte-for-byte identical** to a run that was
+//!   never interrupted — loss bits, metric bits and checkpoint bytes.
+//! * **Serving**: injected read/write/worker faults must never deadlock or
+//!   corrupt the server; once a fault is consumed, responses return to
+//!   bit-identical top-K, workers respawn, `/metrics` reports the recovery
+//!   counters, and an overloaded queue sheds with 503 instead of growing.
+//!
+//! The fault registry is process-global, so every test here serialises
+//! behind one mutex (arming guards alone are not enough: an unfaulted
+//! baseline phase would still bump another test's hit counters).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use ssdrec::core::{SsdRec, SsdRecConfig};
+use ssdrec::data::{prepare, Split, SyntheticConfig};
+use ssdrec::graph::{build_graph, GraphConfig};
+use ssdrec::models::{
+    train_with_checkpoints, BackboneKind, CheckpointConfig, RecModel, SeqRec, TrainConfig,
+    TrainReport,
+};
+use ssdrec::serve::{
+    client, json, request_with_retry, serve, ClientError, Engine, EngineConfig, RecError,
+    RetryPolicy, ServerStats,
+};
+use ssdrec::tensor::save_params;
+use ssdrec_testkit::fault::{assert_fired_exactly, FaultPlan};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn state_path(tag: &str) -> PathBuf {
+    let dir = PathBuf::from("target").join("ssdrec-test");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join(format!("chaos_{tag}.sstc"));
+    let _ = std::fs::remove_file(&path); // never resume from a stale run
+    path
+}
+
+// ---------------------------------------------------------------------------
+// Training: kill + resume ≡ uninterrupted
+// ---------------------------------------------------------------------------
+
+fn ssdrec_world() -> (Split, SsdRec) {
+    let raw = SyntheticConfig::sports()
+        .scaled(0.03)
+        .with_seed(7)
+        .generate();
+    let (dataset, split) = prepare(&raw, 50, 2);
+    let graph = build_graph(&dataset, &GraphConfig::default());
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        seed: 7,
+        ..SsdRecConfig::default()
+    };
+    let model = SsdRec::new(&graph, cfg);
+    (split, model)
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        seed: 7,
+        ..TrainConfig::default()
+    }
+}
+
+/// Everything observable about a finished run, excluding wall-clock times:
+/// final-loss bits, HR@10/NDCG@10 bits, and the exact model checkpoint
+/// bytes `save_params` would ship to serving.
+fn fingerprint(report: &TrainReport, model: &SsdRec, tag: &str) -> (u32, u64, u64, Vec<u8>) {
+    let path = state_path(&format!("fp_{tag}")).with_extension("ssdt");
+    save_params(model.store(), &path).expect("save fingerprint checkpoint");
+    let bytes = std::fs::read(&path).expect("read fingerprint checkpoint");
+    let _ = std::fs::remove_file(&path);
+    (
+        report.final_loss.to_bits(),
+        report.test.hr10.to_bits(),
+        report.test.ndcg10.to_bits(),
+        bytes,
+    )
+}
+
+#[test]
+fn killed_and_resumed_training_is_bit_identical() {
+    let _g = locked();
+    let tc = train_cfg();
+
+    // Reference: 4 epochs straight through (checkpointing on, so the save
+    // path itself is part of both runs).
+    let straight_state = state_path("straight");
+    let (split, mut straight) = ssdrec_world();
+    let straight_report = train_with_checkpoints(
+        &mut straight,
+        &split,
+        &tc,
+        Some(&CheckpointConfig::new(&straight_state)),
+    )
+    .expect("uninterrupted run");
+    let want = fingerprint(&straight_report, &straight, "straight");
+
+    // Kill: an injected panic right after the epoch-2 state save, exactly
+    // like a `kill -9` between epochs.
+    let killed_state = state_path("killed");
+    let (split, mut victim) = ssdrec_world();
+    {
+        let _armed = FaultPlan::new().panic("train.epoch", 2).arm();
+        let ckpt = CheckpointConfig::new(&killed_state);
+        let died = catch_unwind(AssertUnwindSafe(|| {
+            train_with_checkpoints(&mut victim, &split, &tc, Some(&ckpt))
+        }));
+        assert!(died.is_err(), "the injected panic must kill the run");
+        assert_fired_exactly("train.epoch", 1);
+    }
+    assert!(
+        killed_state.exists(),
+        "the epoch-2 state must have survived the kill"
+    );
+
+    // Resume into a *fresh* process-equivalent: a brand-new model whose
+    // every parameter, optimizer moment and RNG word comes from the file.
+    let (split, mut resumed) = ssdrec_world();
+    let resumed_report = train_with_checkpoints(
+        &mut resumed,
+        &split,
+        &tc,
+        Some(&CheckpointConfig {
+            path: killed_state.clone(),
+            every: 1,
+            resume: true,
+        }),
+    )
+    .expect("resumed run");
+    assert_eq!(resumed_report.epochs_run, straight_report.epochs_run);
+
+    let got = fingerprint(&resumed_report, &resumed, "resumed");
+    assert_eq!(got.0, want.0, "final-loss bits diverged after resume");
+    assert_eq!(got.1, want.1, "HR@10 bits diverged after resume");
+    assert_eq!(got.2, want.2, "NDCG@10 bits diverged after resume");
+    assert_eq!(got.3, want.3, "checkpoint bytes diverged after resume");
+
+    let _ = std::fs::remove_file(&straight_state);
+    let _ = std::fs::remove_file(&killed_state);
+}
+
+#[test]
+fn faulted_state_save_fails_cleanly_without_a_torn_file() {
+    let _g = locked();
+    let raw = SyntheticConfig::beauty()
+        .scaled(0.05)
+        .with_seed(3)
+        .generate();
+    let (dataset, split) = prepare(&raw, 20, 2);
+    let mut model = SeqRec::new(BackboneKind::Gru4Rec, dataset.num_items, 8, 20, 5);
+    let path = state_path("torn");
+    let tc = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        seed: 5,
+        ..TrainConfig::default()
+    };
+    let _armed = FaultPlan::new().error("ckpt.save", 1).arm();
+    let err = train_with_checkpoints(&mut model, &split, &tc, Some(&CheckpointConfig::new(&path)))
+        .expect_err("the injected save fault must surface");
+    assert!(err.contains("injected fault at ckpt.save"), "{err}");
+    assert!(!path.exists(), "a failed save must not leave a state file");
+    assert!(
+        !path.with_extension("sstc.tmp").exists(),
+        "no temp file may survive a failed save"
+    );
+    assert_fired_exactly("ckpt.save", 1);
+}
+
+// ---------------------------------------------------------------------------
+// Serving: faults never corrupt, recovery is bit-identical
+// ---------------------------------------------------------------------------
+
+const NUM_ITEMS: usize = 30;
+
+fn chaos_server() -> ssdrec::serve::ServerHandle {
+    let model = SeqRec::new(BackboneKind::SasRec, NUM_ITEMS, 8, 10, 42);
+    let engine = Engine::new(
+        model.into(),
+        EngineConfig {
+            workers: 1,
+            max_len: 10,
+            cache_capacity: 0, // every request must cross the worker
+            ..EngineConfig::default()
+        },
+        Arc::new(ServerStats::new()),
+    );
+    serve(engine, "127.0.0.1:0").expect("bind ephemeral port")
+}
+
+const REQ: &str = "{\"user\":0,\"seq\":[3,9,4,1],\"k\":8}";
+
+fn post_ok(addr: std::net::SocketAddr, body: &str) -> String {
+    let (status, resp) = client::post(addr, "/recommend", body).expect("request");
+    assert_eq!(status, 200, "{resp}");
+    resp
+}
+
+#[test]
+fn read_fault_gives_500_then_recovers_bit_identically() {
+    let _g = locked();
+    let handle = chaos_server();
+    let addr = handle.addr();
+    let baseline = post_ok(addr, REQ);
+
+    let _armed = FaultPlan::new().error("serve.read", 1).arm();
+    // The fault fires the moment the connection opens, so depending on the
+    // race with the client's own write the client sees either the server's
+    // 500 or a transport error (the server closed while it was still
+    // sending) — both are honest observations of a failed read.
+    match client::post(addr, "/recommend", REQ) {
+        Ok((status, body)) => {
+            assert_eq!(status, 500, "{body}");
+            assert!(body.contains("injected fault at serve.read"), "{body}");
+        }
+        Err(ClientError::Io(_)) | Err(ClientError::Truncated { .. }) => {}
+        Err(other) => panic!("unexpected client error: {other:?}"),
+    }
+    assert_eq!(
+        post_ok(addr, REQ),
+        baseline,
+        "post-fault response must match the pre-fault bytes"
+    );
+    assert_fired_exactly("serve.read", 1);
+    assert!(
+        handle.engine().stats().io_faults.load(Ordering::Relaxed) >= 1,
+        "read fault must be counted"
+    );
+}
+
+#[test]
+fn write_fault_is_healed_transparently_by_the_retrying_client() {
+    let _g = locked();
+    let handle = chaos_server();
+    let addr = handle.addr();
+    let baseline = post_ok(addr, REQ);
+
+    // Two consecutive dropped responses: the client must retry through
+    // both (deterministic backoff) and land on the identical bytes.
+    let _armed = FaultPlan::new()
+        .error("serve.write", 1)
+        .error("serve.write", 2)
+        .arm();
+    let (status, body) = request_with_retry(
+        addr,
+        "POST",
+        "/recommend",
+        Some(REQ),
+        &RetryPolicy::default(),
+    )
+    .expect("retry must eventually succeed");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, baseline, "healed response must match baseline bytes");
+    assert_fired_exactly("serve.write", 2);
+}
+
+#[test]
+fn worker_panic_respawns_without_corrupting_results() {
+    let _g = locked();
+    let handle = chaos_server();
+    let addr = handle.addr();
+    let baseline = post_ok(addr, REQ);
+
+    let _armed = FaultPlan::new().panic("engine.batch", 1).arm();
+    // The panicked worker's job is dropped: its caller gets a clean 500.
+    let (status, body) = client::post(addr, "/recommend", REQ).expect("request");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("worker failed"), "{body}");
+    // The respawned worker serves the identical bytes.
+    assert_eq!(post_ok(addr, REQ), baseline);
+    assert_fired_exactly("engine.batch", 1);
+
+    // /metrics reports the recovery, including the injection counter
+    // (read while still armed — disarming clears the registry).
+    let (status, metrics) = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    let m = json::parse(&metrics).expect("metrics JSON");
+    let faults = m.get("faults").expect("faults section");
+    assert_eq!(
+        faults.get("worker_panics").unwrap().as_usize(),
+        Some(1),
+        "{metrics}"
+    );
+    assert!(
+        faults.get("injected_total").unwrap().as_usize().unwrap() >= 1,
+        "{metrics}"
+    );
+}
+
+#[test]
+fn overloaded_queue_sheds_with_503_and_never_deadlocks() {
+    let _g = locked();
+    let model = SeqRec::new(BackboneKind::SasRec, NUM_ITEMS, 8, 10, 42);
+    let engine = Arc::new(Engine::new(
+        model.into(),
+        EngineConfig {
+            workers: 1,
+            max_batch: 1,
+            linger: Duration::from_millis(1),
+            cache_capacity: 0,
+            max_len: 10,
+            max_queue: 1,
+        },
+        Arc::new(ServerStats::new()),
+    ));
+
+    // Stall the single worker on its first batch while six barrier-released
+    // clients pile onto a one-slot queue: at most the stalled batch and one
+    // queued job can be in flight, so several requests must shed.
+    let _armed = FaultPlan::new().delay_ms("engine.batch", 400, 1).arm();
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                engine
+                    .recommend(0, &[1 + c % NUM_ITEMS, 5, 9], 4)
+                    .map(|_| ())
+            })
+        })
+        .collect();
+    let results: Vec<_> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(RecError::Overloaded)))
+        .count();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(shed + ok, clients, "unexpected failure kind in {results:?}");
+    assert!(shed >= 1, "no request was shed: {results:?}");
+    assert!(ok >= 1, "every request was shed: {results:?}");
+    assert_eq!(
+        engine.stats().shed_total.load(Ordering::Relaxed),
+        shed as u64
+    );
+
+    // Post-storm: the queue has drained and fresh requests succeed.
+    assert!(engine.recommend(0, &[2, 4, 6], 4).is_ok());
+    assert_eq!(engine.queue_depth(), 0, "queue depth must return to zero");
+    engine.shutdown();
+}

@@ -247,6 +247,121 @@ fn pooled_and_fresh_training_are_bit_identical() {
     ssdrec::runtime::set_threads(1);
 }
 
+/// Resume-equivalence at multiple thread counts: training 4 epochs straight
+/// must be bit-identical — loss, metrics and checkpoint bytes — to a
+/// 4-epoch run killed after epoch 2 and `--resume`d in a fresh model.
+/// `tests/chaos.rs` pins the fault-injection side of this contract; this
+/// test pins the *thread* dimension.
+#[test]
+fn resumed_training_is_bit_identical_across_thread_counts() {
+    use ssdrec::models::{train_with_checkpoints, CheckpointConfig};
+
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let world = || {
+        let raw = SyntheticConfig::sports()
+            .scaled(0.03)
+            .with_seed(7)
+            .generate();
+        let (dataset, split) = prepare(&raw, 50, 2);
+        let graph = build_graph(&dataset, &GraphConfig::default());
+        let cfg = SsdRecConfig {
+            dim: 8,
+            max_len: 50,
+            seed: 7,
+            ..SsdRecConfig::default()
+        };
+        let model = SsdRec::new(&graph, cfg);
+        (split, model)
+    };
+    let tc = |epochs: usize| TrainConfig {
+        epochs,
+        batch_size: 32,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+    let fingerprint = |report: &ssdrec::models::TrainReport, model: &SsdRec, tag: &str| {
+        let dir = std::path::Path::new("target").join("ssdrec-test");
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let path = dir.join(format!("resume_eq_{tag}.ssdt"));
+        save_params(model.store(), &path).expect("save checkpoint");
+        let bytes = std::fs::read(&path).expect("read checkpoint");
+        let _ = std::fs::remove_file(&path);
+        (
+            report.final_loss.to_bits(),
+            report.test.hr10.to_bits(),
+            report.test.ndcg10.to_bits(),
+            bytes,
+        )
+    };
+
+    for &t in &[1usize, 4] {
+        ssdrec::runtime::set_threads(t);
+
+        let state = std::path::Path::new("target")
+            .join("ssdrec-test")
+            .join(format!("resume_eq_t{t}.sstc"));
+        std::fs::create_dir_all(state.parent().unwrap()).expect("test dir");
+        let _ = std::fs::remove_file(&state);
+
+        // 4 epochs straight through, checkpointing all the way.
+        let (split, mut straight) = world();
+        let straight_report = train_with_checkpoints(
+            &mut straight,
+            &split,
+            &tc(4),
+            Some(&CheckpointConfig::new(&state)),
+        )
+        .expect("uninterrupted run");
+        let want = fingerprint(&straight_report, &straight, &format!("straight_t{t}"));
+        let _ = std::fs::remove_file(&state);
+
+        // 2 epochs, kill; then resume the final 2 in a fresh model. The
+        // kill must happen inside a 4-epoch run (not a 2-epoch one): the
+        // augmentation schedule depends on the configured total, so only
+        // an interrupted 4-epoch run shares the uninterrupted prefix.
+        let (split, mut first_half) = world();
+        {
+            let _armed = ssdrec_testkit::fault::FaultPlan::new()
+                .panic("train.epoch", 2)
+                .arm();
+            let ckpt = CheckpointConfig::new(&state);
+            let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                train_with_checkpoints(&mut first_half, &split, &tc(4), Some(&ckpt))
+            }));
+            assert!(died.is_err(), "the injected kill must abort the run");
+        }
+        let (split, mut resumed) = world();
+        let resumed_report = train_with_checkpoints(
+            &mut resumed,
+            &split,
+            &tc(4),
+            Some(&CheckpointConfig {
+                path: state.clone(),
+                every: 1,
+                resume: true,
+            }),
+        )
+        .expect("resumed half");
+        let got = fingerprint(&resumed_report, &resumed, &format!("resumed_t{t}"));
+
+        assert_eq!(
+            got.0, want.0,
+            "loss bits diverged after resume at {t} threads"
+        );
+        assert_eq!(
+            (got.1, got.2),
+            (want.1, want.2),
+            "HR@10/NDCG@10 bits diverged after resume at {t} threads"
+        );
+        assert_eq!(
+            got.3, want.3,
+            "checkpoint bytes diverged after resume at {t} threads"
+        );
+        let _ = std::fs::remove_file(&state);
+    }
+    ssdrec::runtime::set_threads(1);
+}
+
 #[test]
 fn served_request_is_bit_identical_across_thread_counts() {
     assert_bits_stable(|| {
