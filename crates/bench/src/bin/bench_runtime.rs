@@ -1,25 +1,38 @@
-//! Thread-scaling benchmark for the `ssdrec-runtime` parallel compute pool.
+//! Thread-scaling and kernel-backend benchmark for the runtime hot paths.
 //!
-//! Sweeps `SSDREC_THREADS` ∈ {1, 2, 4, 8} over the three hot paths the
-//! runtime accelerates — a full-catalogue-sized gemm, one training epoch,
-//! and a full evaluation pass — and writes the aggregated report to
-//! `BENCH_runtime.json` at the repository root. Alongside the timings the
-//! sweep **asserts the determinism contract**: the gemm output bits, the
-//! epoch loss bits and the evaluation HR@10 / NDCG@10 bits must be
-//! identical at every thread count, or this binary exits non-zero.
+//! Two sweeps, one report (`BENCH_runtime.json` at the repository root):
+//!
+//! 1. **Thread sweep** — `SSDREC_THREADS` ∈ {1, 2, 4, 8} over the three hot
+//!    paths the runtime accelerates: a full-catalogue-sized gemm, one
+//!    training epoch, and a full evaluation pass (under the default kernel
+//!    backend).
+//! 2. **Kernel backend sweep** — single-threaded, per-kernel timings of the
+//!    `reference` oracle vs the `blocked` backend, via direct
+//!    [`ssdrec_tensor::Backend`] calls: all four gemm transpose variants
+//!    plus the fused element-wise kernels.
+//!
+//! Alongside the timings the binary **asserts the determinism contract**:
+//! thread-sweep output bits must be identical at every thread count, and
+//! every kernel-sweep cell must be bit-identical between backends (the v1
+//! kernel bits-contract). In full mode it additionally asserts the blocked
+//! backend's best gemm-variant speedup is ≥ 2× over the reference oracle.
+//! Any violation exits non-zero.
 //!
 //! `cargo run --release -p ssdrec-bench --bin bench_runtime [-- --fast]`
 //!
 //! `--fast` (or `SSDREC_BENCH_FAST=1`) shrinks the workload to a CI smoke
-//! that still exercises every code path, including the JSON self-check.
+//! that still exercises every code path, including the JSON self-check
+//! (speedups are recorded but not asserted in fast mode — smoke shapes are
+//! too small to be meaningful).
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use ssdrec_data::{make_batches, prepare, Split, SyntheticConfig};
 use ssdrec_models::{evaluate, BackboneKind, RecModel, SeqRec};
+use ssdrec_tensor::backend::{Blocked, Reference, KERNEL_BITS_MAX_ULPS, KERNEL_BITS_VERSION};
 use ssdrec_tensor::kernels::matmul;
-use ssdrec_tensor::{Adam, Graph, Rng, Tensor};
+use ssdrec_tensor::{Activation, Adam, Backend, Graph, Rng, Tensor};
 use ssdrec_testkit::bench::{BenchConfig, Harness};
 
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -144,6 +157,98 @@ struct SweepPoint {
     ndcg10_bits: u64,
 }
 
+struct KernelPoint {
+    kernel: &'static str,
+    reference_ms: f64,
+    blocked_ms: f64,
+    speedup: f64,
+    bits_match: bool,
+}
+
+/// Single-threaded per-kernel comparison of the two backends, via direct
+/// [`Backend`] trait calls (the runtime pool is not involved, so thread
+/// configuration cannot leak in). Each cell also witnesses the v1 kernel
+/// bits-contract: both backends must produce identical output bits.
+fn kernel_sweep(cfg: &Config) -> Vec<KernelPoint> {
+    let (m, k, n) = (cfg.gemm_m, cfg.gemm_k, cfg.gemm_n);
+    let rows = m;
+    let iters = if cfg.fast { 2 } else { 5 };
+
+    // Operand layouts per transpose flag: `ta` stores `a` as k×m, `tb`
+    // stores `b` as n×k. Fresh salts so no operand aliases another.
+    let a_n = fill(m * k, 11);
+    let a_t = fill(k * m, 12);
+    let b_n = fill(k * n, 13);
+    let b_t = fill(n * k, 14);
+    let x = fill(rows * n, 15);
+    let bias = fill(n, 16);
+    let gamma = fill(n, 17);
+    let beta = fill(n, 18);
+    // A causal-ish row mask with the large-finite sentinel the attention
+    // path uses (−1e9), never infinities (finite-input contract).
+    let mask: Vec<f32> = fill(n, 19)
+        .iter()
+        .map(|&v| if v > 0.0 { 0.0 } else { -1e9 })
+        .collect();
+
+    let mut points: Vec<KernelPoint> = Vec::new();
+    let mut sweep = |kernel: &'static str, out_len: usize, f: &dyn Fn(&dyn Backend, &mut [f32])| {
+        let time_one = |be: &dyn Backend| {
+            let mut out = vec![0.0f32; out_len];
+            let mut best = f64::INFINITY;
+            for _ in 0..cfg.reps.max(1) {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    f(be, &mut out);
+                }
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3 / iters as f64);
+            }
+            (best, out)
+        };
+        let (reference_ms, ro) = time_one(&Reference);
+        let (blocked_ms, bo) = time_one(&Blocked);
+        let bits_match =
+            ro.len() == bo.len() && ro.iter().zip(&bo).all(|(a, b)| a.to_bits() == b.to_bits());
+        points.push(KernelPoint {
+            kernel,
+            reference_ms,
+            blocked_ms,
+            speedup: reference_ms / blocked_ms.max(1e-9),
+            bits_match,
+        });
+    };
+
+    sweep("gemm_nn", m * n, &|be, out| {
+        out.fill(0.0);
+        be.gemm_rows(&a_n, false, &b_n, false, m, k, n, out, 0, m);
+    });
+    sweep("gemm_tn", m * n, &|be, out| {
+        out.fill(0.0);
+        be.gemm_rows(&a_t, true, &b_n, false, m, k, n, out, 0, m);
+    });
+    sweep("gemm_nt", m * n, &|be, out| {
+        out.fill(0.0);
+        be.gemm_rows(&a_n, false, &b_t, true, m, k, n, out, 0, m);
+    });
+    sweep("gemm_tt", m * n, &|be, out| {
+        out.fill(0.0);
+        be.gemm_rows(&a_t, true, &b_t, true, m, k, n, out, 0, m);
+    });
+    sweep("bias_act_relu", rows * n, &|be, out| {
+        be.bias_act(&x, &bias, Activation::Relu, out);
+    });
+    sweep("softmax_rows", rows * n, &|be, out| {
+        be.softmax_rows(&x, out, n);
+    });
+    sweep("layer_norm_rows", rows * n, &|be, out| {
+        be.layer_norm_rows(&x, &gamma, &beta, out, n);
+    });
+    sweep("scaled_masked_softmax", rows * n, &|be, out| {
+        be.scaled_masked_softmax(&x, 0.125, Some(&mask), out, n);
+    });
+    points
+}
+
 fn main() {
     let cfg = config();
     let host_cpus = std::thread::available_parallelism()
@@ -153,6 +258,34 @@ fn main() {
         "bench_runtime: sweeping threads {SWEEP:?} on a {host_cpus}-cpu host{}",
         if cfg.fast { " (fast mode)" } else { "" }
     );
+
+    // Kernel backend sweep (single-threaded, direct Backend calls).
+    let kernels = kernel_sweep(&cfg);
+    for p in &kernels {
+        eprintln!(
+            "  kernel {}: reference {:.3} ms, blocked {:.3} ms, {:.2}x, bits_match={}",
+            p.kernel, p.reference_ms, p.blocked_ms, p.speedup, p.bits_match
+        );
+        assert!(
+            p.bits_match,
+            "kernel {} violated the v1 bits-contract: backends diverged",
+            p.kernel
+        );
+    }
+    let gemm_speedup_best = kernels
+        .iter()
+        .filter(|p| p.kernel.starts_with("gemm_"))
+        .map(|p| p.speedup)
+        .fold(0.0f64, f64::max);
+    if cfg.fast {
+        eprintln!("  kernels: best gemm speedup {gemm_speedup_best:.2}x (recorded, not asserted)");
+    } else {
+        assert!(
+            gemm_speedup_best >= 2.0,
+            "blocked backend's best gemm variant must be >= 2x over reference, got {gemm_speedup_best:.2}x"
+        );
+        eprintln!("  kernels: best gemm speedup {gemm_speedup_best:.2}x (>= 2x contract holds)");
+    }
 
     let a = Tensor::new(fill(cfg.gemm_m * cfg.gemm_k, 1), &[cfg.gemm_m, cfg.gemm_k]);
     let b = Tensor::new(fill(cfg.gemm_k * cfg.gemm_n, 2), &[cfg.gemm_k, cfg.gemm_n]);
@@ -259,15 +392,34 @@ fn main() {
             )
         })
         .collect();
+    let kernel_rows: Vec<String> = kernels
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"kernel\": \"{}\", \"reference_ms\": {:.4}, \"blocked_ms\": {:.4}, \
+                 \"speedup\": {:.3}, \"bits_match\": {}}}",
+                p.kernel, p.reference_ms, p.blocked_ms, p.speedup, p.bits_match
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"runtime\",\n  \"fast\": {},\n  \"host_cpus\": {},\n  \
+         \"backend_default\": \"{}\",\n  \
+         \"kernel_contract\": {{\"version\": {}, \"max_ulps\": {}}},\n  \
          \"bit_identical_across_sweep\": true,\n  \
          \"speedup_at_4_threads\": {{\"gemm\": {:.3}, \"eval\": {:.3}}},\n  \
+         \"gemm_speedup_best_1t\": {:.3},\n  \
+         \"kernel_sweep_1t\": [\n{}\n  ],\n  \
          \"sweep\": [\n{}\n  ]\n}}\n",
         cfg.fast,
         host_cpus,
+        ssdrec_tensor::backend_kind().name(),
+        KERNEL_BITS_VERSION,
+        KERNEL_BITS_MAX_ULPS,
         speedup_gemm_4,
         speedup_eval_4,
+        gemm_speedup_best,
+        kernel_rows.join(",\n"),
         rows.join(",\n")
     );
 
@@ -280,11 +432,19 @@ fn main() {
             .map(|a| a.len()),
         Some(SWEEP.len())
     );
+    assert_eq!(
+        parsed
+            .get("kernel_sweep_1t")
+            .and_then(|s| s.as_arr())
+            .map(|a| a.len()),
+        Some(kernels.len())
+    );
 
     let path = repo_root().join("BENCH_runtime.json");
     std::fs::write(&path, &json).expect("write BENCH_runtime.json");
     println!(
-        "bench_runtime: speedup@4 gemm {speedup_gemm_4:.2}x, eval {speedup_eval_4:.2}x \
+        "bench_runtime: speedup@4 gemm {speedup_gemm_4:.2}x, eval {speedup_eval_4:.2}x, \
+         best 1-thread gemm backend speedup {gemm_speedup_best:.2}x \
          (host has {host_cpus} cpu(s)); wrote {}",
         path.display()
     );

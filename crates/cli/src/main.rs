@@ -49,6 +49,9 @@ fn usage() -> &'static str {
      --user U --k K  serving target (recommend)\n\
      --threads N     compute threads for every subcommand (default: the\n\
                      SSDREC_THREADS env var, else all available cores)\n\
+     --backend reference|blocked   kernel backend for every subcommand\n\
+                     (default: the SSDREC_BACKEND env var, else blocked;\n\
+                     both produce bit-identical results)\n\
      --state PATH    training-state file for periodic checkpointing (train)\n\
      --resume        continue bit-identically from --state if it exists\n\
      --checkpoint-every N   epochs between state saves (default 1)\n\
@@ -70,6 +73,24 @@ fn configure_threads(a: &Args) -> Result<usize, String> {
         n => {
             ssdrec_runtime::set_threads(n);
             Ok(n)
+        }
+    }
+}
+
+/// Apply `--backend reference|blocked` to the process-global kernel backend
+/// and return the effective backend name. Without the flag the backend
+/// honours the `SSDREC_BACKEND` env var (default `blocked`). The v1 kernel
+/// bits-contract makes both backends bit-identical, so — like `--threads` —
+/// this flag only trades wall-clock time, never a bit of output.
+fn configure_backend(a: &Args) -> Result<&'static str, String> {
+    match a.get("backend") {
+        None => Ok(ssdrec_tensor::backend_kind().name()),
+        Some(v) => {
+            let kind = ssdrec_tensor::BackendKind::parse(v).ok_or_else(|| {
+                format!("unknown --backend {v:?} (expected \"reference\" or \"blocked\")")
+            })?;
+            ssdrec_tensor::set_backend(kind);
+            Ok(kind.name())
         }
     }
 }
@@ -364,6 +385,10 @@ fn main() -> ExitCode {
         eprintln!("error: {e}\n{}", usage());
         return ExitCode::FAILURE;
     }
+    if let Err(e) = configure_backend(&args) {
+        eprintln!("error: {e}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
     // Chaos testing: SSDREC_FAULTS=site:kind:nth[,...] arms deterministic
     // fault injection across every subsystem. Unset means zero overhead.
     match ssdrec_faults::arm_from_env() {
@@ -415,5 +440,29 @@ mod cli_tests {
         // No flag: keeps whatever the pool already runs.
         assert_eq!(configure_threads(&parse("train")), Ok(3));
         ssdrec_runtime::set_threads(1);
+    }
+
+    #[test]
+    fn backend_flag_selects_kernel_backend_and_rejects_unknown() {
+        // The backend is process-global; serialize against any concurrently
+        // running switched region and restore on exit.
+        ssdrec_tensor::with_backend(ssdrec_tensor::backend_kind(), || {
+            let err = configure_backend(&parse("train --backend turbo")).unwrap_err();
+            assert!(err.contains("--backend"), "got: {err}");
+            assert_eq!(
+                configure_backend(&parse("train --backend reference")),
+                Ok("reference")
+            );
+            assert_eq!(
+                ssdrec_tensor::backend_kind(),
+                ssdrec_tensor::BackendKind::Reference
+            );
+            assert_eq!(
+                configure_backend(&parse("train --backend blocked")),
+                Ok("blocked")
+            );
+            // No flag: keeps whatever is already selected.
+            assert_eq!(configure_backend(&parse("train")), Ok("blocked"));
+        });
     }
 }

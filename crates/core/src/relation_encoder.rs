@@ -17,7 +17,7 @@
 
 use ssdrec_graph::MultiRelationGraph;
 use ssdrec_tensor::nn::Linear;
-use ssdrec_tensor::{Binding, Graph, ParamRef, ParamStore, Rng, Tensor, Var};
+use ssdrec_tensor::{Activation, Binding, Graph, ParamRef, ParamStore, Rng, Tensor, Var};
 
 use crate::util::{add_scalar_var, csr_to_dense, scale_by_scalar};
 
@@ -211,15 +211,13 @@ impl GlobalRelationEncoder {
 
         // --- fusion (Eq. 8) -------------------------------------------------
         let vcat = g.concat_last(&[h_v_plus, h_v_minus, h_v_int]);
-        let v1 = self.fuse_v1.forward(g, bind, vcat);
-        let v1 = g.relu(v1);
+        let v1 = self.fuse_v1.forward_act(g, bind, vcat, Activation::Relu);
         let hv = self.fuse_v2.forward(g, bind, v1);
         // Residual keeps raw ID semantics available downstream.
         let items = g.add(hv, item_table);
 
         let ucat = g.concat_last(&[h_u_plus, h_u_minus, h_u_int]);
-        let u1 = self.fuse_u1.forward(g, bind, ucat);
-        let u1 = g.relu(u1);
+        let u1 = self.fuse_u1.forward_act(g, bind, ucat, Activation::Relu);
         let hu = self.fuse_u2.forward(g, bind, u1);
         let users = g.add(hu, user_table);
 

@@ -6,7 +6,7 @@
 //! model can and cannot express is preserved.
 
 use ssdrec_tensor::nn::{causal_mask, Gru, Linear, TransformerBlock};
-use ssdrec_tensor::{Binding, Graph, ParamRef, ParamStore, Rng, Tensor, Var};
+use ssdrec_tensor::{Activation, Binding, Graph, ParamRef, ParamStore, Rng, Tensor, Var};
 
 use crate::encoder::SeqEncoder;
 
@@ -137,10 +137,8 @@ impl SeqEncoder for StampEncoder {
         let a3 = g.reshape(a, &[b, 1, t]);
         let ma = g.matmul(a3, h_seq);
         let ma = g.reshape(ma, &[b, d]);
-        let hs_vec = self.mlp_a.forward(g, bind, ma);
-        let hs_vec = g.tanh(hs_vec);
-        let ht_vec = self.mlp_b.forward(g, bind, xt);
-        let ht_vec = g.tanh(ht_vec);
+        let hs_vec = self.mlp_a.forward_act(g, bind, ma, Activation::Tanh);
+        let ht_vec = self.mlp_b.forward_act(g, bind, xt, Activation::Tanh);
         g.mul(hs_vec, ht_vec)
     }
 
@@ -186,8 +184,7 @@ impl CaserEncoder {
         for start in 0..=(t - h) {
             let win = g.slice_time(h_seq, start, h); // B×h×d
             let flat = g.reshape(win, &[b, h * d]);
-            let f = lin.forward(g, bind, flat);
-            let f = g.relu(f);
+            let f = lin.forward_act(g, bind, flat, Activation::Relu);
             pooled = Some(match pooled {
                 None => f,
                 Some(p) => g.max2(p, f),
@@ -202,8 +199,7 @@ impl SeqEncoder for CaserEncoder {
         let o2 = self.horizontal(g, bind, h_seq, 2, &self.h2);
         let o3 = self.horizontal(g, bind, h_seq, 3, &self.h3);
         let mean = g.mean_time(h_seq);
-        let ov = self.vert.forward(g, bind, mean);
-        let ov = g.relu(ov);
+        let ov = self.vert.forward_act(g, bind, mean, Activation::Relu);
         let cat = g.concat_last(&[o2, o3, ov]);
         self.out.forward(g, bind, cat)
     }

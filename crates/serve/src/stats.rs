@@ -217,6 +217,7 @@ impl ServerStats {
         format!(
             concat!(
                 "{{\"uptime_secs\":{},\"requests_total\":{},\"qps\":{},",
+                "\"backend\":\"{}\",",
                 "\"latency_ms\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"batching\":{{\"batches_total\":{},\"batched_requests_total\":{},\"max_batch\":{}}},",
@@ -229,6 +230,7 @@ impl ServerStats {
             f64_to_json(self.uptime_secs()),
             get(&self.requests_total),
             f64_to_json(self.qps()),
+            ssdrec_tensor::backend_kind().name(),
             self.latency.count(),
             f64_to_json(self.latency.mean_ms()),
             f64_to_json(self.latency.quantile_ms(0.50)),
@@ -316,6 +318,13 @@ mod tests {
                 "missing pool field {field}"
             );
         }
+        // The active kernel backend is surfaced so operators can see which
+        // kernels a live server is running.
+        let backend = j.get("backend").and_then(|v| v.as_str()).expect("backend");
+        assert!(
+            backend == "reference" || backend == "blocked",
+            "unexpected backend {backend:?}"
+        );
     }
 
     #[test]

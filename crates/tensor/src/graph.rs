@@ -14,6 +14,7 @@
 //! Likewise [`Graph::backward_into`] reuses a caller-owned [`Gradients`]
 //! workspace instead of allocating one per step.
 
+use crate::backend::Activation;
 use crate::kernels;
 use crate::pool;
 use crate::tensor::Tensor;
@@ -60,6 +61,14 @@ enum Op {
     TransposeLast(Var),
     SoftmaxLast(Var),
     LogSoftmaxLast(Var),
+    /// Fused `act(a + broadcast(bias))` — one backend pass replacing an
+    /// [`Op::AddBcast`] followed by an activation node, bit-identical to
+    /// that chain.
+    BiasAct(Var, Var, Activation),
+    /// Fused `softmax_last(a·scale + broadcast(mask))` — one backend pass
+    /// replacing [`Op::Scale`] → add-mask → [`Op::SoftmaxLast`],
+    /// bit-identical to that chain.
+    ScaledMaskedSoftmax(Var, Option<Var>, f32),
     /// Layer normalisation over the last dimension: `(x, gamma, beta)`.
     LayerNorm(Var, Var, Var),
     SumAll(Var),
@@ -495,6 +504,37 @@ impl Graph {
         self.push(t, Op::LogSoftmaxLast(a), rg)
     }
 
+    /// Fused `act(a + broadcast(bias))` where `bias`'s shape is a suffix of
+    /// `a`'s — one tape node (and one backend pass) replacing
+    /// [`Graph::add_bcast`] followed by the activation node, with
+    /// bit-identical forward values and gradients.
+    pub fn bias_act(&mut self, a: Var, bias: Var, act: Activation) -> Var {
+        let t = kernels::bias_act(self.value(a), self.value(bias), act);
+        let rg = self.rg(a) || self.rg(bias);
+        self.push(t, Op::BiasAct(a, bias, act), rg)
+    }
+
+    /// Apply an [`Activation`] as its unfused node ([`Graph::relu`] and
+    /// friends); `Identity` is a no-op returning `a` itself.
+    pub fn activation(&mut self, a: Var, act: Activation) -> Var {
+        match act {
+            Activation::Identity => a,
+            Activation::Relu => self.relu(a),
+            Activation::Sigmoid => self.sigmoid(a),
+            Activation::Tanh => self.tanh(a),
+        }
+    }
+
+    /// Fused `softmax_last(a·scale + broadcast(mask))` — one tape node
+    /// replacing [`Graph::scale`] → mask add → [`Graph::softmax_last`],
+    /// with bit-identical forward values and gradients. `mask`'s shape
+    /// (when present) must be a suffix of `a`'s shape.
+    pub fn scaled_masked_softmax(&mut self, a: Var, scale: f32, mask: Option<Var>) -> Var {
+        let t = kernels::scaled_masked_softmax(self.value(a), scale, mask.map(|mv| self.value(mv)));
+        let rg = self.rg(a) || mask.is_some_and(|mv| self.rg(mv));
+        self.push(t, Op::ScaledMaskedSoftmax(a, mask, scale), rg)
+    }
+
     /// Layer normalisation over the last dimension, with learnable scale
     /// `gamma` and shift `beta` (both of the last-dimension length).
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
@@ -835,6 +875,39 @@ impl Graph {
                     *a,
                     kernels::log_softmax_last_backward(&node.value, gout),
                 );
+            }
+            Op::BiasAct(a, bias, act) => {
+                // Gradient through the activation via the fused output,
+                // then the AddBcast split — the exact unfused chain.
+                let gact = kernels::act_backward(gout, &node.value, *act);
+                if self.rg(*bias) {
+                    self.accum(
+                        grads,
+                        *bias,
+                        kernels::reduce_to_suffix(&gact, self.value(*bias).shape()),
+                    );
+                }
+                self.accum(grads, *a, gact);
+            }
+            Op::ScaledMaskedSoftmax(a, mask, scale) => {
+                // Softmax backward, then the unfused chain's mask-add split
+                // (clone for a same-shape add, suffix reduction for a
+                // broadcast add) and the scale backward.
+                let gs = kernels::softmax_last_backward(&node.value, gout);
+                if let Some(mv) = mask {
+                    if self.rg(*mv) {
+                        let mshape = self.value(*mv).shape();
+                        let gm = if mshape == gs.shape() {
+                            gs.clone()
+                        } else {
+                            kernels::reduce_to_suffix(&gs, mshape)
+                        };
+                        self.accum(grads, *mv, gm);
+                    }
+                }
+                let c = *scale;
+                self.accum(grads, *a, gs.map(|g| g * c));
+                pool::recycle(gs.into_data());
             }
             Op::LayerNorm(x, gamma, beta) => {
                 let (gx, gg, gb) =

@@ -59,9 +59,10 @@ fn gemm_row_grain(m: usize) -> usize {
 }
 
 /// Compute output rows `[r0, r1)` of `out[m×n] (+)= a[m×k] · b[k×n]` into
-/// `block` (the slice for exactly those rows). For every output element the
-/// inner accumulation runs over `p` ascending in all four transpose
-/// variants, so any row partition produces bits identical to `[0, m)`.
+/// `block` (the slice for exactly those rows) on the active
+/// [`crate::backend::Backend`]. For every output element the inner
+/// accumulation runs over `p` ascending in all four transpose variants, so
+/// any row partition produces bits identical to `[0, m)`.
 #[allow(clippy::too_many_arguments)]
 fn gemm_rows(
     a: &[f32],
@@ -75,63 +76,7 @@ fn gemm_rows(
     r0: usize,
     r1: usize,
 ) {
-    // a is m×k after the (optional) transpose; likewise b is k×n.
-    debug_assert_eq!(block.len(), (r1 - r0) * n);
-    if !ta && !tb {
-        for i in r0..r1 {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut block[(i - r0) * n..(i - r0 + 1) * n];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
-    } else if ta && !tb {
-        // a stored as k×m. Row-range form of the p-outer sequential loop;
-        // per output element the adds still run over p ascending.
-        for i in r0..r1 {
-            let orow = &mut block[(i - r0) * n..(i - r0 + 1) * n];
-            for p in 0..k {
-                let av = a[p * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
-                }
-            }
-        }
-    } else if !ta && tb {
-        // b stored as n×k
-        for i in r0..r1 {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
-                }
-                block[(i - r0) * n + j] += acc;
-            }
-        }
-    } else {
-        // a stored k×m, b stored n×k
-        for i in r0..r1 {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a[p * m + i] * b[j * k + p];
-                }
-                block[(i - r0) * n + j] += acc;
-            }
-        }
-    }
+    crate::backend::backend().gemm_rows(a, ta, b, tb, m, k, n, block, r0, r1);
 }
 
 /// `out[m×n] (+)= a[m×k] · b[k×n]` with optional operand transposes.
@@ -165,6 +110,11 @@ fn for_each_batch(
     out: &mut [f32],
     f: impl Fn(usize, &mut [f32]) + Sync,
 ) {
+    if block_len == 0 {
+        // Degenerate batches (some dim is 0) have no output to write, and
+        // `chunks_mut(0)` panics even on an empty slice.
+        return;
+    }
     if out.len() > block_len && work >= GEMM_PAR_WORK && ssdrec_runtime::threads() > 1 {
         ssdrec_runtime::parallel_chunks_mut(out, block_len, f);
     } else {
@@ -460,17 +410,10 @@ fn last_dim(shape: &[usize]) -> usize {
 pub fn softmax_last(a: &Tensor) -> Tensor {
     let n = last_dim(a.shape());
     let mut out = Tensor::zeros(a.shape());
-    for (src, dst) in a.data().chunks(n).zip(out.data_mut().chunks_mut(n)) {
-        let mx = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for (d, &s) in dst.iter_mut().zip(src.iter()) {
-            *d = (s - mx).exp();
-            sum += *d;
-        }
-        for d in dst.iter_mut() {
-            *d /= sum;
-        }
+    if n == 0 {
+        return out;
     }
+    crate::backend::backend().softmax_rows(a.data(), out.data_mut(), n);
     out
 }
 
@@ -478,6 +421,9 @@ pub fn softmax_last(a: &Tensor) -> Tensor {
 pub fn softmax_last_backward(y: &Tensor, gout: &Tensor) -> Tensor {
     let n = last_dim(y.shape());
     let mut out = Tensor::zeros(y.shape());
+    if n == 0 {
+        return out;
+    }
     for ((yr, gr), dr) in y
         .data()
         .chunks(n)
@@ -496,13 +442,10 @@ pub fn softmax_last_backward(y: &Tensor, gout: &Tensor) -> Tensor {
 pub fn log_softmax_last(a: &Tensor) -> Tensor {
     let n = last_dim(a.shape());
     let mut out = Tensor::zeros(a.shape());
-    for (src, dst) in a.data().chunks(n).zip(out.data_mut().chunks_mut(n)) {
-        let mx = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let lse = src.iter().map(|&s| (s - mx).exp()).sum::<f32>().ln() + mx;
-        for (d, &s) in dst.iter_mut().zip(src.iter()) {
-            *d = s - lse;
-        }
+    if n == 0 {
+        return out;
     }
+    crate::backend::backend().log_softmax_rows(a.data(), out.data_mut(), n);
     out
 }
 
@@ -510,6 +453,9 @@ pub fn log_softmax_last(a: &Tensor) -> Tensor {
 pub fn log_softmax_last_backward(y: &Tensor, gout: &Tensor) -> Tensor {
     let n = last_dim(y.shape());
     let mut out = Tensor::zeros(y.shape());
+    if n == 0 {
+        return out;
+    }
     for ((yr, gr), dr) in y
         .data()
         .chunks(n)
@@ -524,7 +470,7 @@ pub fn log_softmax_last_backward(y: &Tensor, gout: &Tensor) -> Tensor {
     out
 }
 
-const LN_EPS: f32 = 1e-5;
+use crate::backend::LN_EPS;
 
 /// Layer normalisation over the last dimension with scale/shift.
 pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
@@ -532,14 +478,16 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> Tensor {
     assert_eq!(gamma.len(), n, "layer_norm gamma length");
     assert_eq!(beta.len(), n, "layer_norm beta length");
     let mut out = Tensor::zeros(x.shape());
-    for (src, dst) in x.data().chunks(n).zip(out.data_mut().chunks_mut(n)) {
-        let mean = src.iter().sum::<f32>() / n as f32;
-        let var = src.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-        let inv = 1.0 / (var + LN_EPS).sqrt();
-        for j in 0..n {
-            dst[j] = gamma.data()[j] * (src[j] - mean) * inv + beta.data()[j];
-        }
+    if n == 0 {
+        return out;
     }
+    crate::backend::backend().layer_norm_rows(
+        x.data(),
+        gamma.data(),
+        beta.data(),
+        out.data_mut(),
+        n,
+    );
     out
 }
 
@@ -550,6 +498,9 @@ pub fn layer_norm_backward(x: &Tensor, gamma: &Tensor, gout: &Tensor) -> (Tensor
     let mut dx = Tensor::zeros(x.shape());
     let mut dgamma = Tensor::zeros(&[n]);
     let mut dbeta = Tensor::zeros(&[n]);
+    if n == 0 {
+        return (dx, dgamma, dbeta);
+    }
     for ((src, gr), dr) in x
         .data()
         .chunks(n)
@@ -577,6 +528,51 @@ pub fn layer_norm_backward(x: &Tensor, gamma: &Tensor, gout: &Tensor) -> (Tensor
         }
     }
     (dx, dgamma, dbeta)
+}
+
+/// Fused `act(a + broadcast(bias))` where `bias`'s shape is a suffix of
+/// `a`'s shape — one backend pass instead of an add node plus an
+/// activation node.
+pub fn bias_act(a: &Tensor, bias: &Tensor, act: crate::backend::Activation) -> Tensor {
+    let (ash, bsh) = (a.shape(), bias.shape());
+    assert!(
+        bsh.len() <= ash.len() && ash[ash.len() - bsh.len()..] == *bsh,
+        "bias_act: {bsh:?} is not a suffix of {ash:?}"
+    );
+    let mut data = crate::pool::take(a.len());
+    crate::backend::backend().bias_act(a.data(), bias.data(), act, &mut data);
+    Tensor::new(data, ash)
+}
+
+/// Backward of the activation half of [`bias_act`], expressed via the fused
+/// output `y` — the exact formulas of the unfused activation backward ops.
+pub fn act_backward(gout: &Tensor, y: &Tensor, act: crate::backend::Activation) -> Tensor {
+    zip(gout, y, |g, yv| act.grad_from_output(g, yv))
+}
+
+/// Fused `softmax_last(a·scale + broadcast(mask))`; `mask`'s shape (when
+/// present) must be a suffix of `a`'s shape covering the last dimension.
+pub fn scaled_masked_softmax(a: &Tensor, scale: f32, mask: Option<&Tensor>) -> Tensor {
+    let n = last_dim(a.shape());
+    if let Some(mv) = mask {
+        let (ash, msh) = (a.shape(), mv.shape());
+        assert!(
+            !msh.is_empty() && msh.len() <= ash.len() && ash[ash.len() - msh.len()..] == *msh,
+            "scaled_masked_softmax: {msh:?} is not a suffix of {ash:?}"
+        );
+    }
+    let mut out = Tensor::zeros(a.shape());
+    if n == 0 {
+        return out;
+    }
+    crate::backend::backend().scaled_masked_softmax(
+        a.data(),
+        scale,
+        mask.map(|mv| mv.data()),
+        out.data_mut(),
+        n,
+    );
+    out
 }
 
 /// Sum over the last dimension (shape loses its last axis; rank-1 → `[1]`).

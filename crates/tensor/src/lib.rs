@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod gradtest;
 pub mod graph;
 pub mod init;
@@ -37,6 +38,9 @@ pub mod pool;
 pub mod rng;
 pub mod tensor;
 
+pub use backend::{
+    backend_kind, set_backend, with_backend, with_each_backend, Activation, Backend, BackendKind,
+};
 pub use gradtest::fd_check_all_params;
 pub use graph::{Gradients, Graph, Var};
 pub use optim::{Adam, Binding, ParamRef, ParamStore, Sgd};

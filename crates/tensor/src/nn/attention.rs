@@ -1,6 +1,7 @@
 //! Multi-head self-attention and transformer blocks (SASRec, BERT4Rec,
 //! STEAM's bidirectional encoder, DCRec's transformer layer).
 
+use crate::backend::Activation;
 use crate::graph::{Graph, Var};
 use crate::optim::{Binding, ParamStore};
 use crate::rng::Rng;
@@ -87,18 +88,9 @@ impl MultiHeadAttention {
             let vs = g.slice_last(v, h * dk, dk);
             let kt = g.transpose_last(ks);
             let scores = g.matmul(qs, kt);
-            let scores = g.scale(scores, scale);
-            let scores = match mask {
-                Some(m) => {
-                    if g.value(m).ndim() == 2 {
-                        g.add_bcast(scores, m)
-                    } else {
-                        g.add(scores, m)
-                    }
-                }
-                None => scores,
-            };
-            let attn = g.softmax_last(scores);
+            // Fused scale + additive mask (T×T broadcast over batch, or
+            // B×T×T) + softmax: one tape node per head instead of three.
+            let attn = g.scaled_masked_softmax(scores, scale, mask);
             head_outs.push(g.matmul(attn, vs));
         }
         let merged = if head_outs.len() == 1 {
@@ -131,10 +123,9 @@ impl FeedForward {
         }
     }
 
-    /// Apply the FFN.
+    /// Apply the FFN (fused bias+ReLU on the inner layer).
     pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
-        let h = self.l1.forward(g, bind, x);
-        let h = g.relu(h);
+        let h = self.l1.forward_act(g, bind, x, Activation::Relu);
         self.l2.forward(g, bind, h)
     }
 }

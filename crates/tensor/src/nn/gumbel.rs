@@ -31,8 +31,9 @@ pub fn gumbel_softmax(g: &mut Graph, rng: &mut Rng, probs: Var, tau: f32, mode: 
     let logp = g.ln(probs);
     let gn = g.constant(noise);
     let z = g.add(logp, gn);
-    let z = g.scale(z, 1.0 / tau);
-    let soft = g.softmax_last(z);
+    // Fused 1/τ scale + softmax; the noise add stays a separate node
+    // because `(a + b)·s` and `a·s + b` differ bitwise.
+    let soft = g.scaled_masked_softmax(z, 1.0 / tau, None);
 
     match mode {
         GumbelMode::Soft => soft,

@@ -1,5 +1,6 @@
 //! Affine layers and layer normalisation.
 
+use crate::backend::Activation;
 use crate::graph::{Graph, Var};
 use crate::optim::{Binding, ParamRef, ParamStore};
 use crate::rng::Rng;
@@ -76,6 +77,21 @@ impl Linear {
                 g.add_bcast(y, bv)
             }
             None => y,
+        }
+    }
+
+    /// Apply the layer followed by an activation, fusing bias-add and
+    /// activation into one [`Graph::bias_act`] node when a bias exists.
+    /// Bit-identical to `forward` followed by the unfused activation node.
+    pub fn forward_act(&self, g: &mut Graph, bind: &Binding, x: Var, act: Activation) -> Var {
+        let w = bind.var(self.w);
+        let y = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = bind.var(b);
+                g.bias_act(y, bv, act)
+            }
+            None => g.activation(y, act),
         }
     }
 }

@@ -18,8 +18,12 @@
 #   9. Thread determinism: the golden HR@10/NDCG@10 test and a CLI train
 #      run must produce byte-identical metrics under SSDREC_THREADS=1
 #      and SSDREC_THREADS=4.
-#  10. bench_runtime smoke: the thread sweep runs in fast mode and
-#      BENCH_runtime.json at the repo root parses as JSON.
+#  10. Backend parity: the same golden test and CLI train run must produce
+#      byte-identical metrics under SSDREC_BACKEND=reference and
+#      SSDREC_BACKEND=blocked (the v1 kernel bits-contract).
+#  11. bench_runtime smoke: the thread sweep and the per-kernel backend
+#      sweep run in fast mode and BENCH_runtime.json at the repo root
+#      parses as JSON with the kernel_sweep_1t section present.
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
 # registry fails the build immediately.
@@ -194,6 +198,24 @@ if ! diff -u "$DET_DIR/metrics_t1.txt" "$DET_DIR/metrics_t4.txt"; then
 fi
 echo "ok: golden + CLI metrics identical at 1 and 4 threads"
 
+echo "== backend parity (golden metrics: reference vs blocked kernels) =="
+# The v1 kernel bits-contract: the cache-blocked backend must reproduce the
+# reference oracle's bits exactly, so the pinned golden metrics pass under
+# either backend and a CLI train run emits byte-identical metric lines.
+SSDREC_BACKEND=reference cargo test --release -q --test golden_determinism
+SSDREC_BACKEND=blocked cargo test --release -q --test golden_determinism
+BE_DIR=target/ssdrec-smoke
+mkdir -p "$BE_DIR"
+./target/release/ssdrec train $SMOKE_FLAGS --epochs 1 --backend reference \
+    | grep -E '^(valid|test)' >"$BE_DIR/metrics_reference.txt"
+./target/release/ssdrec train $SMOKE_FLAGS --epochs 1 --backend blocked \
+    | grep -E '^(valid|test)' >"$BE_DIR/metrics_blocked.txt"
+if ! diff -u "$BE_DIR/metrics_reference.txt" "$BE_DIR/metrics_blocked.txt"; then
+    echo "backend parity FAILED: metrics differ between reference and blocked kernels"
+    exit 1
+fi
+echo "ok: golden + CLI metrics identical under reference and blocked backends"
+
 echo "== pool identity (pooled vs fresh CLI metrics) =="
 # The step-scoped buffer pool must never change a bit of output: a train
 # run with the pool on and one with SSDREC_POOL=0 (plain allocations) must
@@ -223,13 +245,21 @@ fi
 git checkout -- BENCH_alloc.json 2>/dev/null || true
 echo "ok: BENCH_alloc.json written and valid"
 
-echo "== bench_runtime thread-sweep smoke =="
+echo "== bench_runtime thread + kernel sweep smoke =="
 SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_runtime >/dev/null
 test -f BENCH_runtime.json
-# Must parse as JSON: python3 if present, else the workspace parser already
-# validated it inside bench_runtime before writing.
+# Must parse as JSON with the per-kernel backend sweep present: python3 if
+# available, else the workspace parser already validated it inside
+# bench_runtime before writing (and asserted bits_match on every kernel).
 if command -v python3 >/dev/null 2>&1; then
-    python3 -c 'import json,sys; json.load(open("BENCH_runtime.json"))'
+    python3 -c '
+import json
+r = json.load(open("BENCH_runtime.json"))
+ks = r["kernel_sweep_1t"]
+assert ks, "kernel_sweep_1t is empty"
+assert all(p["bits_match"] for p in ks), "a kernel diverged between backends"
+assert any(p["kernel"].startswith("gemm_") for p in ks), "gemm variants missing"
+'
 fi
 # The smoke overwrote the committed full-mode report; restore it so CI
 # leaves the tree clean.
