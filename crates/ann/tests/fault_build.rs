@@ -1,0 +1,34 @@
+//! Chaos coverage for the `ann.build` fault site, in its own test binary:
+//! the fault registry is process-global, so arming it must not race the
+//! crate's other (concurrently running) build tests.
+
+use ssdrec_ann::{AnnParams, HnswIndex};
+use ssdrec_faults::{arm, disarm, fired, FaultSpec};
+use ssdrec_testkit::Rng;
+
+fn toy_table(count: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng::seed(seed);
+    let mut t = vec![0.0f32; (count + 1) * dim];
+    for v in t.iter_mut().skip(dim) {
+        *v = rng.next_f32() * 2.0 - 1.0;
+    }
+    t
+}
+
+#[test]
+fn injected_fault_fails_build_cleanly() {
+    let dim = 4;
+    let n = 200; // several 64-node batches, so nth=2 fires mid-build
+    let t = toy_table(n, dim, 5);
+    arm(vec![FaultSpec::parse("ann.build:error:2").expect("spec")]);
+    let r = HnswIndex::build(&t, dim, n, AnnParams::default());
+    let hits = fired("ann.build");
+    disarm();
+    assert!(r.is_err(), "mid-build fault must surface as Err");
+    assert!(hits >= 1, "the armed fault must actually fire");
+    // No torn state can escape: build is all-or-nothing, so a clean rebuild
+    // is byte-identical to a never-faulted build.
+    let a = HnswIndex::build(&t, dim, n, AnnParams::default()).expect("rebuild");
+    let b = HnswIndex::build(&t, dim, n, AnnParams::default()).expect("fresh");
+    assert_eq!(a.to_bytes(), b.to_bytes());
+}

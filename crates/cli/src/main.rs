@@ -32,7 +32,9 @@ use ssdrec_graph::{build_graph, GraphConfig, MultiRelationGraph};
 use ssdrec_models::{
     train, train_with_checkpoints, BackboneKind, CheckpointConfig, RecModel, SeqRec, TrainConfig,
 };
-use ssdrec_serve::{Engine, EngineConfig, InferenceModel, ServeConfig, ServerStats};
+use ssdrec_serve::{
+    Engine, EngineConfig, InferenceModel, RetrievalConfig, RetrievalMode, ServeConfig, ServerStats,
+};
 use ssdrec_tensor::{load_params, save_params};
 use std::sync::Arc;
 
@@ -57,6 +59,10 @@ fn usage() -> &'static str {
      --checkpoint-every N   epochs between state saves (default 1)\n\
      --addr HOST:PORT --workers N --max-batch B --linger-ms MS --cache N (serve)\n\
      --max-queue N --read-timeout-ms MS --write-timeout-ms MS (serve)\n\
+     --retrieval exact|ann   serving retrieval stage (default exact;\n\
+                     ann = deterministic HNSW candidates + exact re-rank)\n\
+     --ef-search N   ann candidate beam width, 1..=1000000 (default 128)\n\
+     --ann-m M       HNSW max degree, 2..=1024 (default 16)\n\
      env SSDREC_FAULTS=site:kind:nth[,...]   arm deterministic fault injection"
 }
 
@@ -93,6 +99,31 @@ fn configure_backend(a: &Args) -> Result<&'static str, String> {
             Ok(kind.name())
         }
     }
+}
+
+/// Parse `--retrieval exact|ann`, `--ef-search N`, `--ann-m M` into the
+/// engine's retrieval config, rejecting unknown modes and zero/absurd
+/// parameter values up front (a typo'd beam width should fail fast, not
+/// build a useless index).
+fn configure_retrieval(a: &Args) -> Result<RetrievalConfig, String> {
+    let mode: RetrievalMode = a.get_or("retrieval", "exact").parse()?;
+    let ef_search: usize = a.get_parse("ef-search", 128)?;
+    if !(1..=1_000_000).contains(&ef_search) {
+        return Err(format!(
+            "--ef-search {ef_search} out of range 1..=1000000 (candidate beam width)"
+        ));
+    }
+    let ann_m: usize = a.get_parse("ann-m", 16)?;
+    if !(2..=1024).contains(&ann_m) {
+        return Err(format!(
+            "--ann-m {ann_m} out of range 2..=1024 (HNSW degree)"
+        ));
+    }
+    Ok(RetrievalConfig {
+        mode,
+        ann_m,
+        ef_search,
+    })
 }
 
 fn load_dataset(a: &Args) -> Result<Dataset, String> {
@@ -355,8 +386,15 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
         cache_capacity: a.get_parse("cache", 1024)?,
         max_len: prep.max_len,
         max_queue: a.get_parse("max-queue", 1024)?,
+        retrieval: configure_retrieval(a)?,
     };
-    let engine = Engine::new(model, cfg, Arc::new(ServerStats::new()));
+    if cfg.retrieval.mode == RetrievalMode::Ann {
+        println!(
+            "building ann index (m={}, ef_search={})...",
+            cfg.retrieval.ann_m, cfg.retrieval.ef_search
+        );
+    }
+    let engine = Engine::try_new(model, cfg, Arc::new(ServerStats::new()))?;
     let addr = a.get_or("addr", "127.0.0.1:7878");
     let serve_cfg = ServeConfig {
         read_timeout: std::time::Duration::from_millis(a.get_parse("read-timeout-ms", 30_000)?),
@@ -464,5 +502,41 @@ mod cli_tests {
             // No flag: keeps whatever is already selected.
             assert_eq!(configure_backend(&parse("train")), Ok("blocked"));
         });
+    }
+
+    #[test]
+    fn retrieval_flag_parses_modes_and_rejects_unknown() {
+        // Default: exact, with the knob defaults passed through.
+        let cfg = configure_retrieval(&parse("serve")).unwrap();
+        assert_eq!(cfg.mode, RetrievalMode::Exact);
+        assert_eq!((cfg.ann_m, cfg.ef_search), (16, 128));
+        // Both modes parse.
+        let cfg = configure_retrieval(&parse("serve --retrieval ann")).unwrap();
+        assert_eq!(cfg.mode, RetrievalMode::Ann);
+        let cfg = configure_retrieval(&parse("serve --retrieval exact")).unwrap();
+        assert_eq!(cfg.mode, RetrievalMode::Exact);
+        // Unknown modes are refused with a clear message.
+        let err = configure_retrieval(&parse("serve --retrieval fuzzy")).unwrap_err();
+        assert!(err.contains("fuzzy"), "got: {err}");
+    }
+
+    #[test]
+    fn retrieval_knobs_reject_zero_and_absurd_values() {
+        // ef-search: zero, absurd, and unparseable all fail fast.
+        let err = configure_retrieval(&parse("serve --ef-search 0")).unwrap_err();
+        assert!(err.contains("--ef-search"), "got: {err}");
+        let err = configure_retrieval(&parse("serve --ef-search 99999999")).unwrap_err();
+        assert!(err.contains("--ef-search"), "got: {err}");
+        assert!(configure_retrieval(&parse("serve --ef-search many")).is_err());
+        // ann-m: a degree of 0 or 1 cannot form a navigable graph; huge
+        // degrees are a typo, not a config.
+        let err = configure_retrieval(&parse("serve --ann-m 1")).unwrap_err();
+        assert!(err.contains("--ann-m"), "got: {err}");
+        assert!(configure_retrieval(&parse("serve --ann-m 0")).is_err());
+        assert!(configure_retrieval(&parse("serve --ann-m 4096")).is_err());
+        // In-range values pass through.
+        let cfg =
+            configure_retrieval(&parse("serve --retrieval ann --ef-search 64 --ann-m 8")).unwrap();
+        assert_eq!((cfg.ann_m, cfg.ef_search), (8, 64));
     }
 }

@@ -408,6 +408,23 @@ impl SsdRec {
         batch: &Batch,
         frozen: &FrozenTables,
     ) -> Var {
+        let h_s = self.eval_repr_frozen(g, bind, batch, frozen);
+        let logits = g.matmul(h_s, frozen.items_t);
+        g.add_bcast(logits, frozen.pad_mask)
+    }
+
+    /// The request-dependent half of the frozen forward, stopped at the
+    /// sequence representation `h_S` (`B×d`) — the same nodes, in the same
+    /// order, as the front of [`SsdRec::eval_scores_frozen`]. ANN retrieval
+    /// uses this as the query vector and defers catalogue scoring to the
+    /// candidate re-rank.
+    pub fn eval_repr_frozen(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        batch: &Batch,
+        frozen: &FrozenTables,
+    ) -> Var {
         let (h_seq, hu) = self.sequence_reprs(g, frozen.items, frozen.users, batch);
         let prior = self.coherence_prior(g, batch);
         let h_in = if self.cfg.stage3 {
@@ -416,9 +433,7 @@ impl SsdRec {
         } else {
             h_seq
         };
-        let h_s = self.backbone.encode(g, bind, h_in);
-        let logits = g.matmul(h_s, frozen.items_t);
-        g.add_bcast(logits, frozen.pad_mask)
+        self.backbone.encode(g, bind, h_in)
     }
 
     /// Continuous keep probabilities over a raw sequence.

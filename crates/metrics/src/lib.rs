@@ -15,5 +15,7 @@ pub mod stats;
 pub use beyond::RecListAccumulator;
 pub use buckets::LengthBuckets;
 pub use oup::OupAccumulator;
-pub use ranking::{full_rank, par_top_k, rank_rows, top_k, MetricReport, RankingAccumulator};
+pub use ranking::{
+    full_rank, par_top_k, rank_rows, top_k, top_k_sparse, MetricReport, RankingAccumulator,
+};
 pub use stats::{t_two_sided_p, welch_t_test, TTest};

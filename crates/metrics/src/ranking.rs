@@ -125,6 +125,42 @@ fn top_k_range(scores: &[f32], k: usize, lo: usize, hi: usize) -> Vec<Scored> {
     out
 }
 
+/// [`top_k`] over a sparse candidate set `(item ID, score)` instead of a
+/// dense score row — the selection stage of two-stage (ANN + exact re-rank)
+/// retrieval in `ssdrec-serve`. Same bounded min-heap, same [`better`]
+/// total order: fed the full catalogue it returns exactly what [`top_k`]
+/// returns on the dense row, and on any subset the result is the best-`k`
+/// prefix of that subset under the pessimistic tie rule (equal scores break
+/// to the lower item ID). The pad item 0 is skipped, duplicate IDs are the
+/// caller's bug (the duplicate entries would compete independently).
+pub fn top_k_sparse(cands: impl IntoIterator<Item = Scored>, k: usize) -> Vec<Scored> {
+    use std::collections::BinaryHeap;
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for (i, s) in cands {
+        if i == 0 {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(HeapEntry((i, s)));
+        } else if better((i, s), heap.peek().expect("non-empty").0) {
+            heap.pop();
+            heap.push(HeapEntry((i, s)));
+        }
+    }
+    let mut out: Vec<Scored> = heap.into_iter().map(|e| e.0).collect();
+    out.sort_by(|&a, &b| {
+        if better(a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    out
+}
+
 /// Catalogue size below which [`par_top_k`] falls through to [`top_k`].
 const PAR_TOPK_MIN: usize = 4096;
 
@@ -386,6 +422,28 @@ mod tests {
         for (p, (item, _)) in top_k(&scores, 6).into_iter().enumerate() {
             assert_eq!(full_rank(&scores, item), p + 1, "item {item}");
         }
+    }
+
+    #[test]
+    fn top_k_sparse_on_full_catalogue_matches_top_k() {
+        let scores = [9.0, 0.3, 0.3, 0.9, -0.2, 0.3, 0.9];
+        let pairs: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        for k in [0, 1, 3, 6, 10] {
+            assert_eq!(top_k_sparse(pairs.clone(), k), top_k(&scores, k));
+        }
+    }
+
+    #[test]
+    fn top_k_sparse_subset_ties_break_to_lower_id() {
+        // duplicate scores across a sparse subset: pessimistic rule holds
+        let cands = vec![(7usize, 0.5f32), (2, 0.5), (9, 0.8), (4, 0.5)];
+        assert_eq!(top_k_sparse(cands, 3), vec![(9, 0.8), (2, 0.5), (4, 0.5)]);
+    }
+
+    #[test]
+    fn top_k_sparse_skips_pad_id() {
+        let cands = vec![(0usize, 99.0f32), (1, 0.1)];
+        assert_eq!(top_k_sparse(cands, 2), vec![(1, 0.1)]);
     }
 
     #[test]

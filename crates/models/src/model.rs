@@ -120,6 +120,9 @@ pub enum Objective {
 /// Request-independent graph nodes precomputed once for frozen serving
 /// (see [`SeqRec::precompute_frozen`]).
 pub struct FrozenScorer {
+    /// The untransposed item table `E`, shape `(V+1)×d` — the matrix the
+    /// ANN retrieval index is built over and re-rank scores read from.
+    pub table: Var,
     /// The transposed tied-weight scorer `Eᵀ`, shape `d×(V+1)`.
     pub table_t: Var,
     /// The `[V+1]` additive mask row with `−1e9` at the pad index.
@@ -201,7 +204,21 @@ impl SeqRec {
         let mut mask = Tensor::zeros(&[self.num_items + 1]);
         mask.data_mut()[0] = -1e9;
         let pad_mask = g.constant(mask);
-        FrozenScorer { table_t, pad_mask }
+        FrozenScorer {
+            table,
+            table_t,
+            pad_mask,
+        }
+    }
+
+    /// The request-dependent half of the frozen forward, stopped at the
+    /// sequence representation `h_S` (`B×d`) — the same nodes, in the same
+    /// order, as the front of [`SeqRec::eval_scores_frozen`]. ANN retrieval
+    /// uses this as the query vector and defers catalogue scoring to the
+    /// candidate re-rank.
+    pub fn eval_repr_frozen(&self, g: &mut Graph, bind: &Binding, batch: &Batch) -> Var {
+        let h = self.embed_batch(g, bind, batch);
+        self.encoder.encode(g, bind, h)
     }
 
     /// Frozen-serving forward: identical kernels (and therefore bit-identical
@@ -214,8 +231,7 @@ impl SeqRec {
         batch: &Batch,
         frozen: &FrozenScorer,
     ) -> Var {
-        let h = self.embed_batch(g, bind, batch);
-        let h_s = self.encoder.encode(g, bind, h);
+        let h_s = self.eval_repr_frozen(g, bind, batch);
         let logits = g.matmul(h_s, frozen.table_t);
         g.add_bcast(logits, frozen.pad_mask)
     }

@@ -20,13 +20,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ssdrec_ann::{AnnParams, HnswIndex};
 use ssdrec_core::{FrozenTables, SsdRec};
 use ssdrec_data::Batch;
 use ssdrec_models::{FrozenScorer, RecModel, SeqRec};
 use ssdrec_tensor::{Binding, Graph, ParamStore, Var};
 
 use crate::cache::SessionCache;
-use crate::stats::ServerStats;
+use crate::stats::{RetrievalInfo, ServerStats};
 
 /// Why a recommendation request failed, mapped to an HTTP status by the
 /// front-end.
@@ -100,6 +101,14 @@ impl InferenceModel {
         }
     }
 
+    /// Embedding width `d` (the ANN index and re-rank query width).
+    pub fn dim(&self) -> usize {
+        match self {
+            InferenceModel::Ssd(m) => m.cfg.dim,
+            InferenceModel::Seq(m) => m.dim,
+        }
+    }
+
     /// Number of valid user IDs, when the model embeds users (`None` means
     /// any user ID is acceptable — bare backbones ignore the user).
     pub fn num_users(&self) -> Option<usize> {
@@ -146,6 +155,148 @@ impl InferenceModel {
             _ => unreachable!("frozen state built from this model"),
         }
     }
+
+    /// The frozen forward stopped at the sequence representation `h_S`
+    /// (`B×d`) — the ANN query vectors. Same nodes, same order as the
+    /// front of [`InferenceModel::score`], so the exact re-rank over the
+    /// candidate set is bit-identical to the corresponding entries of the
+    /// full score row.
+    fn repr(&self, g: &mut Graph, bind: &Binding, batch: &Batch, frozen: &Frozen) -> Var {
+        match (self, frozen) {
+            (InferenceModel::Ssd(m), Frozen::Ssd(f)) => m.eval_repr_frozen(g, bind, batch, f),
+            (InferenceModel::Seq(m), Frozen::Seq(_)) => m.eval_repr_frozen(g, bind, batch),
+            _ => unreachable!("frozen state built from this model"),
+        }
+    }
+}
+
+impl Frozen {
+    /// The `(V+1)×d` item matrix the tied-weight scorer reads — the source
+    /// of truth for both the ANN index and the exact re-rank.
+    fn items(&self) -> Var {
+        match self {
+            Frozen::Ssd(f) => f.items,
+            Frozen::Seq(f) => f.table,
+        }
+    }
+}
+
+/// Which retrieval stage answers a request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RetrievalMode {
+    /// Full-rank scoring of every catalogue item (the default; the
+    /// bit-identity parity tests guard this path).
+    #[default]
+    Exact,
+    /// Deterministic HNSW candidate search + exact re-rank of the
+    /// `ef_search` candidate set.
+    Ann,
+}
+
+impl std::str::FromStr for RetrievalMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "exact" => Ok(RetrievalMode::Exact),
+            "ann" => Ok(RetrievalMode::Ann),
+            other => Err(format!(
+                "unknown retrieval mode '{other}' (want exact or ann)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RetrievalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RetrievalMode::Exact => "exact",
+            RetrievalMode::Ann => "ann",
+        })
+    }
+}
+
+/// Retrieval-stage knobs (`--retrieval`, `--ann-m`, `--ef-search`).
+#[derive(Clone, Debug)]
+pub struct RetrievalConfig {
+    /// Exact full-rank scoring or ANN candidates + exact re-rank.
+    pub mode: RetrievalMode,
+    /// HNSW max degree on layers ≥ 1 (layer 0 keeps `2·m`).
+    pub ann_m: usize,
+    /// Candidate beam width per request. `ef ≥ catalogue` degenerates to
+    /// exhaustive retrieval (bit-identical to exact mode).
+    pub ef_search: usize,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            mode: RetrievalMode::Exact,
+            ann_m: 16,
+            ef_search: 128,
+        }
+    }
+}
+
+/// Construction beam width derived from the degree bound: wide enough that
+/// recall is set by `ef_search`, not by build quality.
+fn ann_ef_construction(m: usize) -> usize {
+    (m * 6).max(64)
+}
+
+/// The immutable retrieval state shared by every worker: built once before
+/// the first worker spawns (all-or-nothing — a faulted `ann.build` fails
+/// [`Engine::try_new`] cleanly with no torn index).
+struct RetrievalState {
+    ef_search: usize,
+    index: Option<HnswIndex>,
+}
+
+impl RetrievalState {
+    fn build(
+        model: &InferenceModel,
+        cfg: &RetrievalConfig,
+        stats: &ServerStats,
+    ) -> Result<RetrievalState, String> {
+        match cfg.mode {
+            RetrievalMode::Exact => {
+                stats.set_retrieval(RetrievalInfo::default());
+                Ok(RetrievalState {
+                    ef_search: cfg.ef_search,
+                    index: None,
+                })
+            }
+            RetrievalMode::Ann => {
+                let t0 = Instant::now();
+                // A scratch frozen graph just to materialise the scorer's
+                // item matrix; the index owns a copy, the graph is dropped.
+                let mut g = Graph::inference_with_capacity(Graph::DEFAULT_CAPACITY);
+                let bind = model.store().bind_all(&mut g);
+                let frozen = model.precompute(&mut g, &bind);
+                let params = AnnParams {
+                    m: cfg.ann_m,
+                    ef_construction: ann_ef_construction(cfg.ann_m),
+                    ..AnnParams::default()
+                };
+                let index = HnswIndex::build(
+                    g.value(frozen.items()).data(),
+                    model.dim(),
+                    model.num_items(),
+                    params,
+                )
+                .map_err(|e| e.to_string())?;
+                stats.set_retrieval(RetrievalInfo {
+                    mode: "ann".into(),
+                    m: cfg.ann_m as u64,
+                    ef_search: cfg.ef_search as u64,
+                    build_us: t0.elapsed().as_micros() as u64,
+                });
+                Ok(RetrievalState {
+                    ef_search: cfg.ef_search,
+                    index: Some(index),
+                })
+            }
+        }
+    }
 }
 
 /// Engine tuning knobs.
@@ -167,6 +318,8 @@ pub struct EngineConfig {
     /// queued for the workers are rejected with [`RecError::Overloaded`]
     /// (HTTP 503) instead of growing the queue without limit.
     pub max_queue: usize,
+    /// Retrieval stage: exact full-rank (default) or ANN + exact re-rank.
+    pub retrieval: RetrievalConfig,
 }
 
 impl Default for EngineConfig {
@@ -178,6 +331,7 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             max_len: 50,
             max_queue: 1024,
+            retrieval: RetrievalConfig::default(),
         }
     }
 }
@@ -220,13 +374,27 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Spin up the worker pool around a frozen model.
+    /// Spin up the worker pool around a frozen model. Panics if the
+    /// retrieval index build fails — use [`Engine::try_new`] to surface
+    /// that as an error instead.
     pub fn new(model: InferenceModel, cfg: EngineConfig, stats: Arc<ServerStats>) -> Engine {
+        Engine::try_new(model, cfg, stats).expect("engine init")
+    }
+
+    /// Fallible [`Engine::new`]: an ANN index build failure (including an
+    /// injected `ann.build` fault) returns `Err` before any worker spawns,
+    /// so no engine — and no torn index — escapes.
+    pub fn try_new(
+        model: InferenceModel,
+        cfg: EngineConfig,
+        stats: Arc<ServerStats>,
+    ) -> Result<Engine, String> {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.max_batch >= 1, "max_batch must be ≥ 1");
         assert!(cfg.max_len >= 1, "max_len must be ≥ 1");
         assert!(cfg.max_queue >= 1, "max_queue must be ≥ 1");
         let model = Arc::new(model);
+        let retrieval = Arc::new(RetrievalState::build(&model, &cfg.retrieval, &stats)?);
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let queue_depth = Arc::new(AtomicUsize::new(0));
@@ -242,6 +410,7 @@ impl Engine {
                 let busy = stats.register_worker();
                 let hwm = Arc::clone(&hwm);
                 let depth = Arc::clone(&queue_depth);
+                let retrieval = Arc::clone(&retrieval);
                 let (max_batch, linger) = (cfg.max_batch, cfg.linger);
                 std::thread::Builder::new()
                     .name(format!("ssdrec-worker-{i}"))
@@ -256,7 +425,8 @@ impl Engine {
                             let ran =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     worker_loop(
-                                        &model, &rx, &stats, &busy, &hwm, &depth, max_batch, linger,
+                                        &model, &retrieval, &rx, &stats, &busy, &hwm, &depth,
+                                        max_batch, linger,
                                     )
                                 }));
                             match ran {
@@ -270,7 +440,7 @@ impl Engine {
                     .expect("spawn worker thread")
             })
             .collect();
-        Engine {
+        Ok(Engine {
             model,
             cache: Mutex::new(SessionCache::new(cfg.cache_capacity)),
             cfg,
@@ -278,7 +448,7 @@ impl Engine {
             workers: Mutex::new(workers),
             stats,
             queue_depth,
-        }
+        })
     }
 
     /// The shared stats the engine records into.
@@ -450,6 +620,7 @@ fn drain_jobs(
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     model: &InferenceModel,
+    retrieval: &RetrievalState,
     rx: &Mutex<Receiver<Job>>,
     stats: &ServerStats,
     busy_us: &std::sync::atomic::AtomicU64,
@@ -494,19 +665,53 @@ fn worker_loop(
                 targets: group.iter().map(|j| j.seq[seq_len - 1]).collect(),
                 noise: None,
             };
-            let scores = model.score(&mut g, &bind, &batch, &frozen);
-            let width = model.num_items() + 1;
-            {
-                let values = g.value(scores);
-                for (row, job) in group.iter().enumerate() {
-                    let row_scores = &values.data()[row * width..(row + 1) * width];
-                    let items = ssdrec_metrics::par_top_k(row_scores, job.k);
-                    let _ = job.resp.send(Arc::new(Recommendation {
-                        user: job.user,
-                        k: job.k,
-                        items,
-                        batch_size: group.len(),
-                    }));
+            match &retrieval.index {
+                None => {
+                    // Exact path: full-rank score row + bounded-heap top-K.
+                    let scores = model.score(&mut g, &bind, &batch, &frozen);
+                    let width = model.num_items() + 1;
+                    let values = g.value(scores);
+                    for (row, job) in group.iter().enumerate() {
+                        let row_scores = &values.data()[row * width..(row + 1) * width];
+                        let items = ssdrec_metrics::par_top_k(row_scores, job.k);
+                        let _ = job.resp.send(Arc::new(Recommendation {
+                            user: job.user,
+                            k: job.k,
+                            items,
+                            batch_size: group.len(),
+                        }));
+                    }
+                }
+                Some(index) => {
+                    // ANN path: stop the forward at h_S, search the HNSW
+                    // index for ef_search candidates, then re-rank only
+                    // those through the exact scorer arithmetic
+                    // (`rerank_score` is bit-identical to the full row's
+                    // entries) and the shared pessimistic-tie top-K.
+                    let h_s = model.repr(&mut g, &bind, &batch, &frozen);
+                    let d = model.dim();
+                    let table_var = frozen.items();
+                    let hv = g.value(h_s);
+                    let table = g.value(table_var);
+                    for (row, job) in group.iter().enumerate() {
+                        let q = &hv.data()[row * d..(row + 1) * d];
+                        let cands = index.candidates(q, retrieval.ef_search);
+                        stats.record_candidates(cands.len() as u64);
+                        let items = ssdrec_metrics::top_k_sparse(
+                            cands.iter().map(|&c| {
+                                let ci = c as usize;
+                                let e = &table.data()[ci * d..(ci + 1) * d];
+                                (ci, ssdrec_ann::rerank_score(q, e))
+                            }),
+                            job.k,
+                        );
+                        let _ = job.resp.send(Arc::new(Recommendation {
+                            user: job.user,
+                            k: job.k,
+                            items,
+                            batch_size: group.len(),
+                        }));
+                    }
                 }
             }
             stats.record_batch(group.len() as u64);
@@ -599,6 +804,83 @@ mod tests {
         engine.shutdown();
         engine.shutdown();
         assert!(engine.recommend(0, &[1], 3).is_err());
+    }
+
+    fn ann_cfg(ef_search: usize) -> EngineConfig {
+        EngineConfig {
+            max_len: 10,
+            retrieval: RetrievalConfig {
+                mode: RetrievalMode::Ann,
+                ef_search,
+                ..RetrievalConfig::default()
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn ann_with_exhaustive_ef_matches_exact_bitwise() {
+        // ef_search ≥ catalogue: the candidate set is every item, so the
+        // re-rank must reproduce the exact path bit-for-bit.
+        let (exact, _) = tiny_engine(EngineConfig {
+            max_len: 10,
+            ..EngineConfig::default()
+        });
+        let model = SeqRec::new(BackboneKind::SasRec, 20, 8, 10, 42);
+        let ann = Engine::new(model.into(), ann_cfg(64), Arc::new(ServerStats::new()));
+        for seq in [vec![1, 2, 3], vec![5], vec![7, 7, 7, 7], vec![19, 2]] {
+            let e = exact.recommend(0, &seq, 7).expect("exact");
+            let a = ann.recommend(0, &seq, 7).expect("ann");
+            assert_eq!(e.items.len(), a.items.len());
+            for (x, y) in e.items.iter().zip(&a.items) {
+                assert_eq!(x.0, y.0, "item mismatch for {seq:?}");
+                assert_eq!(x.1.to_bits(), y.1.to_bits(), "score bits for {seq:?}");
+            }
+        }
+        exact.shutdown();
+        ann.shutdown();
+    }
+
+    #[test]
+    fn ann_rerank_scores_are_exact_scores() {
+        // Even with a narrow beam, every returned score must equal the
+        // exact path's score of that item (the re-rank is exact; only the
+        // candidate *set* is approximate).
+        let (_, reference) = tiny_engine(EngineConfig::default());
+        let model = SeqRec::new(BackboneKind::SasRec, 20, 8, 10, 42);
+        let ann = Engine::new(model.into(), ann_cfg(8), Arc::new(ServerStats::new()));
+        let seq = vec![3, 9, 14];
+        let served = ann.recommend(0, &seq, 5).expect("ann");
+        let full = reference.recommend(0, &seq, 20); // whole catalogue
+        let truth: std::collections::HashMap<usize, u32> =
+            full.iter().map(|&(i, s)| (i, s.to_bits())).collect();
+        assert_eq!(served.items.len(), 5);
+        for &(item, score) in &served.items {
+            assert_eq!(
+                Some(&score.to_bits()),
+                truth.get(&item),
+                "re-rank bits for item {item}"
+            );
+        }
+        // scores descending, ids unique
+        for w in served.items.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        ann.shutdown();
+    }
+
+    #[test]
+    fn ann_mode_publishes_retrieval_stats() {
+        let model = SeqRec::new(BackboneKind::SasRec, 20, 8, 10, 42);
+        let ann = Engine::new(model.into(), ann_cfg(8), Arc::new(ServerStats::new()));
+        ann.recommend(0, &[1, 2], 3).expect("serve");
+        let info = ann.stats().retrieval();
+        assert_eq!(info.mode, "ann");
+        assert_eq!(info.m, 16);
+        assert_eq!(info.ef_search, 8);
+        assert!(info.build_us > 0);
+        assert_eq!(ann.stats().candidates.count(), 1);
+        ann.shutdown();
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod server;
 pub mod stats;
 
 pub use client::{request_with_retry, ClientError, RetryPolicy};
-pub use engine::{Engine, EngineConfig, InferenceModel, RecError, Recommendation};
+pub use engine::{
+    Engine, EngineConfig, InferenceModel, RecError, Recommendation, RetrievalConfig, RetrievalMode,
+};
 pub use server::{serve, serve_with, ServeConfig, ServerHandle};
-pub use stats::{LatencyHistogram, ServerStats};
+pub use stats::{LatencyHistogram, RetrievalInfo, ServerStats};

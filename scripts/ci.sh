@@ -24,6 +24,11 @@
 #  11. bench_runtime smoke: the thread sweep and the per-kernel backend
 #      sweep run in fast mode and BENCH_runtime.json at the repo root
 #      parses as JSON with the kernel_sweep_1t section present.
+#  12. Retrieval smoke: re-serve the checkpoint with --retrieval ann at an
+#      exhaustive --ef-search; the response body must be byte-identical to
+#      the exact-path baseline and /metrics must report the ann section.
+#  13. bench_serve --retrieval smoke: the recall harness runs in fast mode
+#      and BENCH_retrieval.json parses with recall@10 >= 0.95 per catalog.
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
 # registry fails the build immediately.
@@ -175,6 +180,50 @@ exec 3<&- 3>&-
 wait "$CHAOS_PID"
 echo "ok: recovered to baseline bytes in $TRIES attempt(s); worker respawned after injected panic"
 
+echo "== retrieval smoke (ann exhaustive-ef vs exact baseline) =="
+# An ef_search that covers any smoke catalogue makes the ANN stage
+# exhaustive, so the two-stage path must reproduce the exact path's bytes.
+./target/release/ssdrec serve $SMOKE_FLAGS --model "$SMOKE_DIR/ckpt.ssdt" \
+    --addr 127.0.0.1:0 --retrieval ann --ef-search 100000 \
+    >"$SMOKE_DIR/ann.log" 2>&1 &
+ANN_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's#^serving on http://##p' "$SMOKE_DIR/ann.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "retrieval smoke FAILED: ann server did not announce its address"
+    kill "$ANN_PID" 2>/dev/null || true
+    exit 1
+fi
+PORT=${ADDR##*:}
+ANN_BODY=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+              printf 'GET /recommend?user=0&seq=1&k=5 HTTP/1.1\r\nHost: ann\r\nConnection: close\r\n\r\n' >&3 &&
+              cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } )
+if [ "$ANN_BODY" != "$BASELINE" ]; then
+    echo "retrieval smoke FAILED: ann response diverged from the exact baseline"
+    echo "  baseline: $BASELINE"
+    echo "  ann     : $ANN_BODY"
+    kill "$ANN_PID" 2>/dev/null || true
+    exit 1
+fi
+ANN_METRICS=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+                 printf 'GET /metrics HTTP/1.1\r\nHost: ann\r\nConnection: close\r\n\r\n' >&3 &&
+                 cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } )
+if ! printf '%s' "$ANN_METRICS" | grep -qF '"mode":"ann"'; then
+    echo "retrieval smoke FAILED: /metrics missing the ann retrieval section: $ANN_METRICS"
+    kill "$ANN_PID" 2>/dev/null || true
+    exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'POST /shutdown HTTP/1.1\r\nHost: ann\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3
+cat <&3 >/dev/null
+exec 3<&- 3>&-
+wait "$ANN_PID"
+echo "ok: exhaustive-ef ann bytes match the exact baseline; /metrics reports ann"
+
 echo "== bench_serve latency smoke =="
 SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_serve >/dev/null
 test -f target/ssdrec-bench/serve_latency.csv
@@ -265,5 +314,27 @@ fi
 # leaves the tree clean.
 git checkout -- BENCH_runtime.json 2>/dev/null || true
 echo "ok: BENCH_runtime.json written and valid"
+
+echo "== bench_serve retrieval recall smoke =="
+SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_serve -- --retrieval >/dev/null
+test -f BENCH_retrieval.json
+# The harness already asserts recall@10 >= 0.95 and the determinism
+# contract internally; double-check the committed-schema fields parse.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+r = json.load(open("BENCH_retrieval.json"))
+assert r["deterministic_rebuild"] and r["thread_invariant_build"]
+cats = r["catalogs"]
+assert cats, "catalogs is empty"
+for c in cats:
+    assert c["recall_at_10"] >= 0.95, c
+    assert c["serve_bits_stable"], c
+'
+fi
+# The smoke overwrote the committed full-mode report; restore it so CI
+# leaves the tree clean.
+git checkout -- BENCH_retrieval.json 2>/dev/null || true
+echo "ok: BENCH_retrieval.json written and valid"
 
 echo "CI: all checks passed"

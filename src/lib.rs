@@ -17,6 +17,7 @@
 //! | [`core`] | `ssdrec-core` | the SSDRec three-stage framework |
 //! | [`metrics`] | `ssdrec-metrics` | HR/NDCG/MRR, t-tests, OUP ratios |
 //! | [`runtime`] | `ssdrec-runtime` | thread pool + deterministic parallel kernels |
+//! | [`ann`] | `ssdrec-ann` | deterministic HNSW candidate retrieval |
 //! | [`serve`] | `ssdrec-serve` | the online inference HTTP server |
 //! | [`faults`] | `ssdrec-faults` | deterministic fault-injection sites for chaos testing |
 //!
@@ -36,6 +37,7 @@
 //! println!("test HR@20 = {:.4}", report.test.hr20);
 //! ```
 
+pub use ssdrec_ann as ann;
 pub use ssdrec_core as core;
 pub use ssdrec_data as data;
 pub use ssdrec_denoise as denoise;
