@@ -12,6 +12,11 @@
 //!                  [--linger-ms MS] [--cache N] [--max-queue N]
 //!                  [--read-timeout-ms MS] [--write-timeout-ms MS]
 //!                  (same data/arch flags as train)
+//! ssdrec serve     --ckpt-dir DIR --log PATH [--watch-current [--reload-poll-ms MS]]
+//!                  (versioned serving with POST /reload hot-swap)
+//! ssdrec ingest    --log PATH [--events "u:i,u:i,..."]
+//!                  [--profile NAME --scale F --seed S | --users N --items M]
+//! ssdrec retrain   --log PATH --ckpt-dir DIR [--epochs N] (same arch flags as train)
 //! ```
 //!
 //! `--baseline` trains the bare backbone instead of wrapping it in SSDRec.
@@ -19,6 +24,12 @@
 //! moments, RNG) every `--checkpoint-every` epochs; `--resume` continues a
 //! killed run from it **bit-identically**. The `SSDREC_FAULTS` env var arms
 //! deterministic fault injection (`site:kind:nth`, see `ssdrec_faults`).
+//!
+//! The online loop: `ingest` appends interactions to an append-only log,
+//! `retrain` warm-starts from the latest published version and trains on
+//! the merged history into `--ckpt-dir/v000N/`, and a `serve --ckpt-dir`
+//! server hot-swaps new versions in via `POST /reload` (or automatically
+//! with `--watch-current`) without dropping a request.
 
 mod args;
 
@@ -33,13 +44,17 @@ use ssdrec_models::{
     train, train_with_checkpoints, BackboneKind, CheckpointConfig, RecModel, SeqRec, TrainConfig,
 };
 use ssdrec_serve::{
-    Engine, EngineConfig, InferenceModel, RetrievalConfig, RetrievalMode, ServeConfig, ServerStats,
+    Engine, EngineConfig, EngineSlot, InferenceModel, LoadedModel, ModelLoader, RetrievalConfig,
+    RetrievalMode, ServeConfig, ServerStats,
 };
+use ssdrec_stream::{ArchSpec, LogHeader, RetrainOutcome, RetrainSpec};
 use ssdrec_tensor::{load_params, save_params};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> &'static str {
-    "usage: ssdrec <stats|train|recommend|denoise|serve> [options]\n\
+    "usage: ssdrec <stats|train|recommend|denoise|serve|ingest|retrain> [options]\n\
      run `ssdrec <command> --help`-style flags per the module docs; common options:\n\
      --profile beauty|sports|yelp|ml-100k|ml-1m   synthetic profile (default beauty)\n\
      --file PATH --format movielens|csv           load real interaction data instead\n\
@@ -63,6 +78,12 @@ fn usage() -> &'static str {
                      ann = deterministic HNSW candidates + exact re-rank)\n\
      --ef-search N   ann candidate beam width, 1..=1000000 (default 128)\n\
      --ann-m M       HNSW max degree, 2..=1024 (default 16)\n\
+     --log PATH      append-only interaction log (ingest, retrain, serve --ckpt-dir)\n\
+     --events L      comma-separated user:item pairs to append (ingest)\n\
+     --users N --items M   explicit catalog when creating a log (ingest)\n\
+     --ckpt-dir DIR  versioned checkpoint directory (retrain, serve)\n\
+     --watch-current poll the ckpt-dir CURRENT pointer and hot-swap (serve)\n\
+     --reload-poll-ms MS   poll interval for --watch-current (default 500)\n\
      env SSDREC_FAULTS=site:kind:nth[,...]   arm deterministic fault injection"
 }
 
@@ -357,7 +378,221 @@ fn cmd_denoise(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse an `--events "u:i,u:i,..."` list into `(user, item)` pairs,
+/// rejecting malformed pairs with the offending fragment in the message.
+fn parse_events(spec: &str) -> Result<Vec<(usize, usize)>, String> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            let (u, i) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("--events: {pair:?} is not user:item"))?;
+            let user = u
+                .trim()
+                .parse()
+                .map_err(|_| format!("--events: bad user in {pair:?}"))?;
+            let item = i
+                .trim()
+                .parse()
+                .map_err(|_| format!("--events: bad item in {pair:?}"))?;
+            Ok((user, item))
+        })
+        .collect()
+}
+
+/// `--users N --items M` → an explicit log catalog; both or neither.
+fn explicit_catalog(a: &Args) -> Result<Option<LogHeader>, String> {
+    match (a.get("users"), a.get("items")) {
+        (None, None) => Ok(None),
+        (Some(_), Some(_)) => {
+            let num_users: usize = a.get_parse("users", 0)?;
+            let num_items: usize = a.get_parse("items", 0)?;
+            if num_users == 0 || num_items == 0 {
+                return Err("--users and --items must both be ≥ 1".into());
+            }
+            Ok(Some(LogHeader {
+                num_users,
+                num_items,
+            }))
+        }
+        _ => Err("--users and --items must be given together".into()),
+    }
+}
+
+/// Architecture + training knobs for `retrain` (same defaults as `train`;
+/// the arch half must match the checkpoint directory on every round).
+fn retrain_spec(a: &Args) -> Result<RetrainSpec, String> {
+    let epochs: usize = a.get_parse("epochs", 1)?;
+    if epochs == 0 {
+        return Err("--epochs must be ≥ 1 (incremental rounds run exactly N epochs)".into());
+    }
+    let defaults = TrainConfig::default();
+    Ok(RetrainSpec {
+        arch: ArchSpec {
+            backbone: backbone(a)?,
+            dim: a.get_parse("dim", 16)?,
+            max_len: a.get_parse("max-len", 50)?,
+            seed: a.get_parse("seed", 7)?,
+        },
+        epochs,
+        batch_size: a.get_parse("batch-size", 64)?,
+        lr: defaults.lr,
+        weight_decay: defaults.weight_decay,
+        checkpoint_every: a.get_parse("checkpoint-every", 1)?,
+    })
+}
+
+/// `--watch-current [--reload-poll-ms MS]` → the server's poll interval.
+/// `--reload-poll-ms` without `--watch-current` is a contradiction and is
+/// rejected, as is a zero interval.
+fn reload_poll(a: &Args) -> Result<Option<Duration>, String> {
+    let watch = a.has_flag("watch-current");
+    if !watch {
+        if a.get("reload-poll-ms").is_some() {
+            return Err("--reload-poll-ms requires --watch-current".into());
+        }
+        return Ok(None);
+    }
+    let ms: u64 = a.get_parse("reload-poll-ms", 500)?;
+    if ms == 0 {
+        return Err("--reload-poll-ms must be ≥ 1".into());
+    }
+    Ok(Some(Duration::from_millis(ms)))
+}
+
+fn cmd_ingest(a: &Args) -> Result<(), String> {
+    let log_path = a.get("log").ok_or("ingest requires --log PATH")?;
+    let explicit = explicit_catalog(a)?;
+    // Event source: an explicit --events list, else a bulk load of the
+    // synthetic profile (user-major, time-ordered within each user).
+    let (catalog, events): (Option<LogHeader>, Vec<(usize, usize)>) = match a.get("events") {
+        Some(spec) => (explicit, parse_events(spec)?),
+        None => {
+            let ds = load_dataset(a)?;
+            let catalog = explicit.or(Some(LogHeader {
+                num_users: ds.num_users,
+                num_items: ds.num_items,
+            }));
+            let events = ds
+                .sequences
+                .iter()
+                .enumerate()
+                .flat_map(|(u, seq)| seq.iter().map(move |&i| (u, i)))
+                .collect();
+            (catalog, events)
+        }
+    };
+    let (mut log, created) = ssdrec_stream::open_or_create_log(Path::new(log_path), catalog)?;
+    let before = log.records();
+    log.append_all(events).map_err(|e| e.to_string())?;
+    log.sync().map_err(|e| e.to_string())?;
+    let h = log.header();
+    println!(
+        "{} {} ({} users, {} items): +{} records, {} total, end offset {}",
+        if created { "created" } else { "appended to" },
+        log_path,
+        h.num_users,
+        h.num_items,
+        log.records() - before,
+        log.records(),
+        log.end()
+    );
+    Ok(())
+}
+
+fn cmd_retrain(a: &Args) -> Result<(), String> {
+    let log = a.get("log").ok_or("retrain requires --log PATH")?;
+    let root = a
+        .get("ckpt-dir")
+        .ok_or("retrain requires --ckpt-dir DIR (the versioned checkpoint directory)")?;
+    let spec = retrain_spec(a)?;
+    match ssdrec_stream::retrain(
+        Path::new(log),
+        Path::new(root),
+        &spec,
+        a.has_flag("verbose"),
+    )? {
+        RetrainOutcome::UpToDate { version } => {
+            println!("up to date: v{version:04} already covers the whole log");
+        }
+        RetrainOutcome::Trained(t) => {
+            println!(
+                "published v{:04}: consumed {} new record(s) up to offset {}",
+                t.version, t.delta_records, t.consumed
+            );
+            println!("epochs: {}", t.report.epochs_run);
+            println!("valid : {}", t.report.valid);
+            println!("test  : {}", t.report.test);
+        }
+    }
+    Ok(())
+}
+
+/// `serve --ckpt-dir DIR --log PATH`: serve the `CURRENT` version with
+/// hot-swap via `POST /reload` and (optionally) a `CURRENT`-file watcher.
+fn cmd_serve_stream(a: &Args) -> Result<(), String> {
+    if a.get("model").is_some() {
+        return Err("--model and --ckpt-dir are mutually exclusive".into());
+    }
+    let root = PathBuf::from(a.get("ckpt-dir").expect("caller checked --ckpt-dir"));
+    let log = PathBuf::from(a.get("log").ok_or(
+        "serve --ckpt-dir requires --log PATH (the interaction log the versions were \
+         trained from)",
+    )?);
+    let poll = reload_poll(a)?;
+    let lv = ssdrec_stream::load_current(&log, &root)?
+        .ok_or("no CURRENT version in --ckpt-dir (run `ssdrec retrain` first)")?;
+    println!("loaded {} from {}", lv.meta, root.display());
+    let cfg = EngineConfig {
+        workers: a.get_parse("workers", 2)?,
+        max_batch: a.get_parse("max-batch", 32)?,
+        linger: Duration::from_millis(a.get_parse("linger-ms", 2)?),
+        cache_capacity: a.get_parse("cache", 1024)?,
+        max_len: lv.meta.spec.arch.max_len,
+        max_queue: a.get_parse("max-queue", 1024)?,
+        retrieval: configure_retrieval(a)?,
+    };
+    if cfg.retrieval.mode == RetrievalMode::Ann {
+        println!(
+            "building ann index (m={}, ef_search={})...",
+            cfg.retrieval.ann_m, cfg.retrieval.ef_search
+        );
+    }
+    let engine = Engine::try_new(lv.model.into(), cfg, Arc::new(ServerStats::new()))?;
+    let loader: Box<ModelLoader> = Box::new(move |current| {
+        Ok(
+            ssdrec_stream::load_newer(&log, &root, current)?.map(|newer| LoadedModel {
+                model: newer.model.into(),
+                version: newer.version,
+            }),
+        )
+    });
+    let slot = EngineSlot::reloadable(engine, lv.version, loader);
+    let addr = a.get_or("addr", "127.0.0.1:7878");
+    let serve_cfg = ServeConfig {
+        read_timeout: Duration::from_millis(a.get_parse("read-timeout-ms", 30_000)?),
+        write_timeout: Duration::from_millis(a.get_parse("write-timeout-ms", 30_000)?),
+        reload_poll: poll,
+    };
+    let handle = ssdrec_serve::serve_slot(slot, addr, serve_cfg).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", handle.addr());
+    println!("  GET  /health");
+    println!("  GET  /recommend?user=U&seq=1,2,3&k=10   (or POST a JSON body)");
+    println!("  GET  /metrics");
+    println!("  POST /reload");
+    println!("  POST /shutdown");
+    handle.join();
+    println!("server stopped");
+    Ok(())
+}
+
 fn cmd_serve(a: &Args) -> Result<(), String> {
+    if a.get("ckpt-dir").is_some() {
+        return cmd_serve_stream(a);
+    }
+    if a.has_flag("watch-current") || a.get("reload-poll-ms").is_some() {
+        return Err("--watch-current/--reload-poll-ms require serving from --ckpt-dir".into());
+    }
     let prep = prepare_data(a)?;
     let ckpt = a
         .get("model")
@@ -399,6 +634,7 @@ fn cmd_serve(a: &Args) -> Result<(), String> {
     let serve_cfg = ServeConfig {
         read_timeout: std::time::Duration::from_millis(a.get_parse("read-timeout-ms", 30_000)?),
         write_timeout: std::time::Duration::from_millis(a.get_parse("write-timeout-ms", 30_000)?),
+        reload_poll: None,
     };
     let handle = ssdrec_serve::serve_with(engine, addr, serve_cfg).map_err(|e| e.to_string())?;
     println!("serving on http://{}", handle.addr());
@@ -443,6 +679,8 @@ fn main() -> ExitCode {
         Some("recommend") => cmd_recommend(&args),
         Some("denoise") => cmd_denoise(&args),
         Some("serve") => cmd_serve(&args),
+        Some("ingest") => cmd_ingest(&args),
+        Some("retrain") => cmd_retrain(&args),
         _ => {
             eprintln!("{}", usage());
             return ExitCode::FAILURE;
@@ -538,5 +776,71 @@ mod cli_tests {
         let cfg =
             configure_retrieval(&parse("serve --retrieval ann --ef-search 64 --ann-m 8")).unwrap();
         assert_eq!((cfg.ann_m, cfg.ef_search), (8, 64));
+    }
+
+    #[test]
+    fn events_list_parses_and_rejects_malformed_pairs() {
+        assert_eq!(
+            parse_events("0:1,2:3, 4 : 5 ,").unwrap(),
+            vec![(0, 1), (2, 3), (4, 5)]
+        );
+        assert_eq!(parse_events("").unwrap(), vec![]);
+        // No colon, bad user, bad item — each names the offending pair.
+        for bad in ["7", "x:1", "1:y", "1:2:3"] {
+            let err = parse_events(bad).unwrap_err();
+            assert!(err.contains("--events"), "for {bad:?} got: {err}");
+        }
+    }
+
+    #[test]
+    fn ingest_catalog_flags_must_come_together_and_be_positive() {
+        assert_eq!(explicit_catalog(&parse("ingest")).unwrap(), None);
+        let h = explicit_catalog(&parse("ingest --users 10 --items 20"))
+            .unwrap()
+            .unwrap();
+        assert_eq!((h.num_users, h.num_items), (10, 20));
+        let err = explicit_catalog(&parse("ingest --users 10")).unwrap_err();
+        assert!(err.contains("together"), "got: {err}");
+        let err = explicit_catalog(&parse("ingest --users 0 --items 5")).unwrap_err();
+        assert!(err.contains("≥ 1"), "got: {err}");
+        assert!(explicit_catalog(&parse("ingest --users x --items 5")).is_err());
+    }
+
+    #[test]
+    fn retrain_spec_rejects_zero_epochs_and_defaults_match_train() {
+        let err = retrain_spec(&parse("retrain --epochs 0")).unwrap_err();
+        assert!(err.contains("--epochs"), "got: {err}");
+        assert!(retrain_spec(&parse("retrain --epochs some")).is_err());
+        let spec = retrain_spec(&parse("retrain")).unwrap();
+        assert_eq!(spec.epochs, 1);
+        assert_eq!(spec.arch.dim, 16);
+        assert_eq!(spec.arch.max_len, 50);
+        assert_eq!(spec.batch_size, 64);
+        // Float knobs inherit the trainer defaults bit-for-bit.
+        assert_eq!(spec.lr.to_bits(), TrainConfig::default().lr.to_bits());
+        let spec = retrain_spec(&parse("retrain --epochs 3 --dim 8 --backbone narm")).unwrap();
+        assert_eq!((spec.epochs, spec.arch.dim), (3, 8));
+        assert_eq!(spec.arch.backbone, BackboneKind::Narm);
+    }
+
+    #[test]
+    fn reload_flags_reject_contradictions() {
+        // No watch: no polling, and a poll interval alone is refused.
+        assert_eq!(reload_poll(&parse("serve")).unwrap(), None);
+        let err = reload_poll(&parse("serve --reload-poll-ms 100")).unwrap_err();
+        assert!(err.contains("--watch-current"), "got: {err}");
+        // Watching polls at the default, or the explicit interval.
+        assert_eq!(
+            reload_poll(&parse("serve --watch-current")).unwrap(),
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(
+            reload_poll(&parse("serve --watch-current --reload-poll-ms 50")).unwrap(),
+            Some(Duration::from_millis(50))
+        );
+        // A zero interval is a busy-loop request, not a config.
+        let err = reload_poll(&parse("serve --watch-current --reload-poll-ms 0")).unwrap_err();
+        assert!(err.contains("≥ 1"), "got: {err}");
+        assert!(reload_poll(&parse("serve --watch-current --reload-poll-ms fast")).is_err());
     }
 }

@@ -20,4 +20,7 @@ pub use backbones::{
 pub use checkpoint::{load_train_state, save_train_state, CheckpointConfig, TrainState};
 pub use encoder::{BackboneKind, SeqEncoder};
 pub use model::{build_encoder, FrozenScorer, Objective, RecModel, SeqRec};
-pub use trainer::{evaluate, train, train_with_checkpoints, LrSchedule, TrainConfig, TrainReport};
+pub use trainer::{
+    evaluate, train, train_with_checkpoints, train_with_warm_start, LrSchedule, TrainConfig,
+    TrainReport,
+};

@@ -7,7 +7,7 @@ use ssdrec_data::{make_batches, Example, Split};
 use ssdrec_metrics::{rank_rows, RankingAccumulator};
 use ssdrec_tensor::{Adam, Gradients, Graph, Rng};
 
-use crate::checkpoint::{self, CheckpointConfig};
+use crate::checkpoint::{self, CheckpointConfig, TrainState};
 use crate::model::RecModel;
 
 /// Learning-rate schedule applied on top of the base rate.
@@ -166,6 +166,30 @@ pub fn train_with_checkpoints<M: RecModel>(
     cfg: &TrainConfig,
     ckpt: Option<&CheckpointConfig>,
 ) -> Result<TrainReport, String> {
+    train_with_warm_start(model, split, cfg, None, ckpt)
+}
+
+/// [`train_with_checkpoints`], optionally warm-started from a prior run's
+/// [`TrainState`] — the continual-training entry point used by
+/// `ssdrec-stream`'s incremental retrain driver.
+///
+/// A warm start restores the *optimizer trajectory* (parameter values, Adam
+/// moments and step count, raw RNG stream, model-side state) of the prior
+/// run but starts fresh epoch/early-stopping counters: the loop runs
+/// `cfg.epochs` incremental epochs over `split` from epoch 0. This differs
+/// from `resume`, which continues the *same* run's epoch schedule.
+///
+/// Precedence: when `ckpt.resume` finds an existing state file, that state
+/// wins and `warm` is ignored — a killed warm-started run resumes from its
+/// own work checkpoint (which already embeds the warm start), keeping
+/// kill-and-resume bit-identical to an uninterrupted warm-started run.
+pub fn train_with_warm_start<M: RecModel>(
+    model: &mut M,
+    split: &Split,
+    cfg: &TrainConfig,
+    warm: Option<&TrainState>,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<TrainReport, String> {
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
     let mut rng = Rng::seed(cfg.seed);
 
@@ -177,6 +201,16 @@ pub fn train_with_checkpoints<M: RecModel>(
     let mut total_train_secs = 0.0f64;
     let mut final_loss = f32::NAN;
     let mut start_epoch = 0usize;
+
+    let resuming = ckpt.is_some_and(|c| c.resume && c.path.exists());
+    if let (Some(w), false) = (warm, resuming) {
+        w.apply_to(model).map_err(|e| format!("warm start: {e}"))?;
+        opt.set_steps(w.adam_steps);
+        rng = Rng::from_state(w.rng_state);
+        // The early-stopping baseline is the warm-started parameters, not
+        // the random init captured above.
+        best_snapshot = model.store().snapshot();
+    }
 
     if let Some(c) = ckpt {
         if c.resume && c.path.exists() {

@@ -456,6 +456,23 @@ impl Engine {
         &self.stats
     }
 
+    /// The shared stats, cloned out — a hot swap hands the same instance
+    /// to the replacement engine so counters survive the swap.
+    pub fn stats_arc(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Live entry count of the session cache (a hot swap reports this as
+    /// the number of sessions invalidated).
+    pub fn cache_len(&self) -> usize {
+        lock(&self.cache).len()
+    }
+
     /// The model being served.
     pub fn model(&self) -> &InferenceModel {
         &self.model

@@ -30,10 +30,12 @@ pub mod http;
 pub mod json;
 pub mod server;
 pub mod stats;
+pub mod swap;
 
 pub use client::{request_with_retry, ClientError, RetryPolicy};
 pub use engine::{
     Engine, EngineConfig, InferenceModel, RecError, Recommendation, RetrievalConfig, RetrievalMode,
 };
-pub use server::{serve, serve_with, ServeConfig, ServerHandle};
+pub use server::{serve, serve_slot, serve_with, ServeConfig, ServerHandle};
 pub use stats::{LatencyHistogram, RetrievalInfo, ServerStats};
+pub use swap::{EngineSlot, LoadedModel, ModelLoader, ReloadOutcome};

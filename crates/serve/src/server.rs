@@ -8,7 +8,12 @@
 //! | `/health`          | GET        | `{"status":"ok","model":...}`               |
 //! | `/recommend`       | GET / POST | top-K for `user`/`seq`/`k` (query or JSON)  |
 //! | `/metrics`         | GET        | QPS, latency p50/p95/p99, cache, batching   |
+//! | `/reload`          | POST       | hot-swap to a newer model version           |
 //! | `/shutdown`        | POST       | graceful stop                               |
+//!
+//! Every request snapshots the engine out of the [`EngineSlot`] once, up
+//! front, so a hot swap landing mid-request can never hand it a torn mix of
+//! old and new tables.
 
 use std::fmt::Write as _;
 use std::io;
@@ -21,6 +26,7 @@ use std::time::Duration;
 use crate::engine::{Engine, Recommendation};
 use crate::http::{read_request, write_json, Request};
 use crate::json::{self, Json};
+use crate::swap::{EngineSlot, ReloadOutcome};
 
 /// Connection-handling knobs for the HTTP front-end.
 #[derive(Clone, Debug)]
@@ -30,6 +36,10 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// When set (and the slot is reloadable), a background thread polls the
+    /// checkpoint directory's `CURRENT` pointer at this interval and swaps
+    /// in newer versions automatically — `/reload` without the request.
+    pub reload_poll: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -37,12 +47,13 @@ impl Default for ServeConfig {
         ServeConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            reload_poll: None,
         }
     }
 }
 
 struct Shared {
-    engine: Engine,
+    slot: EngineSlot,
     cfg: ServeConfig,
     stop: AtomicBool,
     addr: SocketAddr,
@@ -62,6 +73,7 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    poller: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -70,9 +82,15 @@ impl ServerHandle {
         self.shared.addr
     }
 
-    /// The engine behind the server (for in-process inspection).
-    pub fn engine(&self) -> &Engine {
-        &self.shared.engine
+    /// A snapshot of the engine currently serving (for in-process
+    /// inspection; a hot swap may replace it at any time).
+    pub fn engine(&self) -> Arc<Engine> {
+        self.shared.slot.engine()
+    }
+
+    /// The swappable engine slot behind the server.
+    pub fn slot(&self) -> &EngineSlot {
+        &self.shared.slot
     }
 
     /// Block until the server stops (via `POST /shutdown` or another
@@ -81,7 +99,8 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        self.shared.engine.shutdown();
+        self.stop_poller();
+        self.shared.slot.shutdown();
     }
 
     /// Stop the accept loop and the engine workers. Idempotent.
@@ -90,7 +109,15 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        self.shared.engine.shutdown();
+        self.stop_poller();
+        self.shared.slot.shutdown();
+    }
+
+    fn stop_poller(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.poller.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -107,12 +134,21 @@ pub fn serve(engine: Engine, addr: &str) -> io::Result<ServerHandle> {
     serve_with(engine, addr, ServeConfig::default())
 }
 
-/// [`serve`] with explicit connection-handling configuration.
+/// [`serve`] with explicit connection-handling configuration. The engine is
+/// pinned for the server's lifetime (no reload source).
 pub fn serve_with(engine: Engine, addr: &str, cfg: ServeConfig) -> io::Result<ServerHandle> {
+    serve_slot(EngineSlot::fixed(engine), addr, cfg)
+}
+
+/// Serve a swappable [`EngineSlot`]: `POST /reload` (and the optional
+/// `reload_poll` watcher) hot-swap newer model versions in with zero
+/// downtime.
+pub fn serve_slot(slot: EngineSlot, addr: &str, cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let poll = cfg.reload_poll.filter(|_| slot.is_reloadable());
     let shared = Arc::new(Shared {
-        engine,
+        slot,
         cfg,
         stop: AtomicBool::new(false),
         addr,
@@ -132,9 +168,36 @@ pub fn serve_with(engine: Engine, addr: &str, cfg: ServeConfig) -> io::Result<Se
                     .spawn(move || handle_connection(stream, &conn_shared));
             }
         })?;
+    let poller = match poll {
+        Some(interval) => {
+            let poll_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("ssdrec-reload-poll".into())
+                    .spawn(move || {
+                        // Sleep in short slices so shutdown is prompt even
+                        // with a long poll interval.
+                        let slice = Duration::from_millis(20).min(interval);
+                        let mut elapsed = Duration::ZERO;
+                        while !poll_shared.stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(slice);
+                            elapsed += slice;
+                            if elapsed >= interval {
+                                elapsed = Duration::ZERO;
+                                // Errors keep the old model serving; they are
+                                // already counted in swap_failed_total.
+                                let _ = poll_shared.slot.reload();
+                            }
+                        }
+                    })?,
+            )
+        }
+        None => None,
+    };
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
+        poller,
     })
 }
 
@@ -156,7 +219,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 400
             } else {
                 shared
-                    .engine
+                    .slot
                     .stats()
                     .io_faults
                     .fetch_add(1, Ordering::Relaxed);
@@ -176,7 +239,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
     // `ClientError`) and retries.
     if ssdrec_faults::point("serve.write").is_err() {
         shared
-            .engine
+            .slot
             .stats()
             .io_faults
             .fetch_add(1, Ordering::Relaxed);
@@ -187,18 +250,22 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 }
 
 fn route(req: &Request, shared: &Shared) -> (u16, String) {
+    // One engine snapshot per request: everything below serves from this
+    // immutable Arc, even if a hot swap commits while we run.
+    let engine = shared.slot.engine();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => (
             200,
             format!(
-                "{{\"status\":\"ok\",\"model\":{},\"num_items\":{}}}",
-                json::quote(&shared.engine.model().model_name()),
-                shared.engine.model().num_items()
+                "{{\"status\":\"ok\",\"model\":{},\"num_items\":{},\"model_version\":{}}}",
+                json::quote(&engine.model().model_name()),
+                engine.model().num_items(),
+                shared.slot.stats().model_version(),
             ),
         ),
-        ("GET", "/metrics") => (200, shared.engine.stats().to_json()),
+        ("GET", "/metrics") => (200, shared.slot.stats().to_json()),
         ("GET" | "POST", "/recommend") => match parse_recommend(req) {
-            Ok((user, seq, k)) => match shared.engine.recommend(user, &seq, k) {
+            Ok((user, seq, k)) => match engine.recommend(user, &seq, k) {
                 Ok(rec) => (200, recommendation_json(&rec)),
                 Err(e) => (
                     e.http_status(),
@@ -208,18 +275,29 @@ fn route(req: &Request, shared: &Shared) -> (u16, String) {
             Err(e) => {
                 // Malformed before reaching the engine: count it here.
                 shared
-                    .engine
+                    .slot
                     .stats()
                     .errors_total
                     .fetch_add(1, Ordering::Relaxed);
                 (400, format!("{{\"error\":{}}}", json::quote(&e)))
             }
         },
+        ("POST", "/reload") => match shared.slot.reload() {
+            Ok(ReloadOutcome::Swapped { version }) => (
+                200,
+                format!("{{\"status\":\"swapped\",\"model_version\":{version}}}"),
+            ),
+            Ok(ReloadOutcome::Unchanged { version }) => (
+                200,
+                format!("{{\"status\":\"unchanged\",\"model_version\":{version}}}"),
+            ),
+            Err(e) => (500, format!("{{\"error\":{}}}", json::quote(&e))),
+        },
         ("POST", "/shutdown") => {
             shared.trigger_stop();
             (200, "{\"status\":\"shutting down\"}".into())
         }
-        (_, "/health" | "/metrics" | "/recommend" | "/shutdown") => {
+        (_, "/health" | "/metrics" | "/recommend" | "/reload" | "/shutdown") => {
             (405, "{\"error\":\"method not allowed\"}".into())
         }
         _ => (404, "{\"error\":\"no such endpoint\"}".into()),

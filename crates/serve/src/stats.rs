@@ -152,6 +152,20 @@ pub struct ServerStats {
     /// Candidate-set size per ANN-mode request (the histogram buckets are
     /// unit-agnostic; this one records item counts, not µs).
     pub candidates: LatencyHistogram,
+    /// Version of the model currently serving (0 until a versioned
+    /// checkpoint is loaded; bumped by every successful hot swap).
+    pub model_version: AtomicU64,
+    /// Successful hot swaps since start.
+    pub swap_total: AtomicU64,
+    /// Hot swaps that failed (load/build error or panic); the previous
+    /// model kept serving.
+    pub swap_failed_total: AtomicU64,
+    /// Wall-clock µs of the most recent successful swap (load + build +
+    /// commit).
+    pub last_swap_us: AtomicU64,
+    /// Session-cache entries invalidated by swaps (the whole cache is
+    /// discarded with the old engine on every swap).
+    pub sessions_invalidated_total: AtomicU64,
     /// Active retrieval mode + index parameters, set by the engine.
     retrieval: Mutex<RetrievalInfo>,
     /// Per-worker busy time in µs, one counter per registered worker
@@ -182,6 +196,11 @@ impl ServerStats {
             shed_total: AtomicU64::new(0),
             io_faults: AtomicU64::new(0),
             candidates: LatencyHistogram::new(),
+            model_version: AtomicU64::new(0),
+            swap_total: AtomicU64::new(0),
+            swap_failed_total: AtomicU64::new(0),
+            last_swap_us: AtomicU64::new(0),
+            sessions_invalidated_total: AtomicU64::new(0),
             retrieval: Mutex::new(RetrievalInfo::default()),
             worker_busy_us: Mutex::new(Vec::new()),
         }
@@ -215,6 +234,38 @@ impl ServerStats {
             .unwrap_or_else(|p| p.into_inner())
             .push(Arc::clone(&counter));
         counter
+    }
+
+    /// Currently served model version.
+    pub fn model_version(&self) -> u64 {
+        self.model_version.load(Ordering::SeqCst)
+    }
+
+    /// Pin the initial model version (engine startup, before any swap).
+    pub fn set_model_version(&self, v: u64) {
+        self.model_version.store(v, Ordering::SeqCst);
+    }
+
+    /// Record one successful hot swap to `version`.
+    pub fn note_swap(&self, version: u64, elapsed_us: u64, sessions_invalidated: u64) {
+        self.model_version.store(version, Ordering::SeqCst);
+        self.swap_total.fetch_add(1, Ordering::SeqCst);
+        self.last_swap_us.store(elapsed_us, Ordering::Relaxed);
+        self.sessions_invalidated_total
+            .fetch_add(sessions_invalidated, Ordering::Relaxed);
+    }
+
+    /// Drop every registered worker counter. Called by a hot swap just
+    /// before the replacement engine registers its own workers, so the
+    /// `workers` section always describes the engine about to serve. (If
+    /// the swap then fails, the old engine keeps serving with its busy
+    /// counters no longer exported — a cosmetic gap, repaired by the next
+    /// successful swap.)
+    pub fn clear_workers(&self) {
+        self.worker_busy_us
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
     }
 
     /// Record one completed request's end-to-end latency.
@@ -284,10 +335,22 @@ impl ServerStats {
             self.candidates.quantile_raw(0.50),
             self.candidates.quantile_raw(0.99),
         );
+        let model = format!(
+            concat!(
+                "{{\"model_version\":{},\"swap_total\":{},\"swap_failed_total\":{},",
+                "\"last_swap_ms\":{},\"sessions_invalidated\":{}}}"
+            ),
+            get(&self.model_version),
+            get(&self.swap_total),
+            get(&self.swap_failed_total),
+            f64_to_json(get(&self.last_swap_us) as f64 / 1000.0),
+            get(&self.sessions_invalidated_total),
+        );
         format!(
             concat!(
                 "{{\"uptime_secs\":{},\"requests_total\":{},\"qps\":{},",
                 "\"backend\":\"{}\",",
+                "\"model\":{},",
                 "\"retrieval\":{},",
                 "\"latency_ms\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
@@ -302,6 +365,7 @@ impl ServerStats {
             get(&self.requests_total),
             f64_to_json(self.qps()),
             ssdrec_tensor::backend_kind().name(),
+            model,
             retrieval,
             self.latency.count(),
             f64_to_json(self.latency.mean_ms()),
@@ -468,6 +532,33 @@ mod tests {
         assert_eq!(faults.get("shed_total").unwrap().as_usize(), Some(5));
         assert_eq!(faults.get("io_faults").unwrap().as_usize(), Some(1));
         assert!(faults.get("injected_total").unwrap().as_usize().is_some());
+    }
+
+    #[test]
+    fn model_section_tracks_swaps() {
+        let s = ServerStats::new();
+        s.set_model_version(1);
+        s.note_swap(2, 1_500, 7);
+        let j = crate::json::parse(&s.to_json()).expect("valid JSON");
+        let m = j.get("model").expect("model section");
+        assert_eq!(m.get("model_version").unwrap().as_usize(), Some(2));
+        assert_eq!(m.get("swap_total").unwrap().as_usize(), Some(1));
+        assert_eq!(m.get("swap_failed_total").unwrap().as_usize(), Some(0));
+        assert_eq!(m.get("sessions_invalidated").unwrap().as_usize(), Some(7));
+        assert!((m.get("last_swap_ms").unwrap().as_f64().unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_workers_resets_worker_section() {
+        let s = ServerStats::new();
+        let _w = s.register_worker();
+        s.clear_workers();
+        let _w2 = s.register_worker();
+        let j = crate::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(
+            j.get("workers").unwrap().get("count").unwrap().as_usize(),
+            Some(1)
+        );
     }
 
     #[test]

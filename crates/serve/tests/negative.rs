@@ -33,6 +33,7 @@ fn start_server(read_timeout: Duration) -> ssdrec_serve::ServerHandle {
         ServeConfig {
             read_timeout,
             write_timeout: Duration::from_secs(5),
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral port")

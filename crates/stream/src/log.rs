@@ -1,0 +1,451 @@
+//! Append-only interaction log.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! header (28 bytes):
+//!   magic      b"SSLG"
+//!   version    u32      — format version, currently 1
+//!   num_users  u64      — fixed catalog: user IDs are 0..num_users
+//!   num_items  u64      — fixed catalog: item IDs are 1..=num_items
+//!   crc        u32      — CRC-32 (IEEE) of the preceding 24 bytes
+//! records, back to back:
+//!   len        u32      — payload length in bytes (currently always 16)
+//!   payload    user u64, item u64
+//!   crc        u32      — CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! Offsets are absolute file byte offsets; the first record starts at
+//! [`HEADER_LEN`]. The catalog is fixed at creation so that every replay
+//! prefix yields the same item/user ID space — the incremental trainer
+//! warm-starts from earlier parameters, which is only sound if embedding row
+//! `i` keeps meaning item `i` forever.
+//!
+//! Recovery rules, applied when a log is opened for writing:
+//!
+//! * a record whose bytes run past end-of-file is a **torn tail** (a crash
+//!   mid-append); it is truncated away and reported in [`OpenReport`].
+//! * a *complete* record whose CRC does not match cannot have been produced
+//!   by a torn sequential append — that is **corruption**, rejected with the
+//!   typed [`LogError::Corrupt`] carrying the record's offset.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ssdrec_data::Interaction;
+
+/// Log format magic bytes.
+pub const MAGIC: [u8; 4] = *b"SSLG";
+/// Current log format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of the file header in bytes; also the offset of the first record.
+pub const HEADER_LEN: u64 = 28;
+/// Size of one record in bytes (`len` + 16-byte payload + `crc`).
+pub const RECORD_LEN: u64 = 24;
+const PAYLOAD_LEN: u32 = 16;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Small table built on demand: the log is not the hot path, and a
+    // 256-entry table per call keeps this dependency-free and obvious.
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Typed errors for log open/append/replay.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure (includes injected `stream.*` faults).
+    Io(io::Error),
+    /// The file does not start with the `SSLG` magic.
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    BadVersion(u32),
+    /// The header CRC does not match its contents.
+    HeaderCorrupt,
+    /// A complete record at `offset` failed its CRC check.
+    Corrupt {
+        /// Absolute file offset of the corrupt record.
+        offset: u64,
+    },
+    /// An event's IDs fall outside the log's fixed catalog.
+    OutOfCatalog {
+        /// Offending user ID.
+        user: usize,
+        /// Offending item ID.
+        item: usize,
+        /// Catalog user count.
+        num_users: usize,
+        /// Catalog item count.
+        num_items: usize,
+    },
+    /// A replay offset does not lie within `[HEADER_LEN, end]`.
+    BadOffset {
+        /// The requested offset.
+        offset: u64,
+        /// The log's end offset.
+        end: u64,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogError::BadMagic => write!(f, "not an SSLG interaction log (bad magic)"),
+            LogError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported log format version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            LogError::HeaderCorrupt => write!(f, "log header CRC mismatch"),
+            LogError::Corrupt { offset } => {
+                write!(f, "corrupt log record at offset {offset} (CRC mismatch)")
+            }
+            LogError::OutOfCatalog {
+                user,
+                item,
+                num_users,
+                num_items,
+            } => write!(
+                f,
+                "event ({user}, {item}) outside the log catalog \
+                 ({num_users} users, {num_items} items)"
+            ),
+            LogError::BadOffset { offset, end } => write!(
+                f,
+                "offset {offset} is not inside the log (records span {HEADER_LEN}..={end})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+impl From<ssdrec_faults::Injected> for LogError {
+    fn from(e: ssdrec_faults::Injected) -> Self {
+        LogError::Io(e.into())
+    }
+}
+
+/// The fixed catalog recorded in a log's header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogHeader {
+    /// User IDs are `0..num_users`.
+    pub num_users: usize,
+    /// Item IDs are `1..=num_items` (0 is padding, never logged).
+    pub num_items: usize,
+}
+
+/// What [`StreamLog::open`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Number of valid records.
+    pub records: u64,
+    /// End offset (file length after any torn-tail truncation).
+    pub end: u64,
+    /// Bytes of torn tail discarded by truncation (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// Writer handle over an append-only interaction log.
+pub struct StreamLog {
+    path: PathBuf,
+    file: File,
+    header: LogHeader,
+    end: u64,
+    records: u64,
+}
+
+fn header_bytes(h: &LogHeader) -> [u8; HEADER_LEN as usize] {
+    let mut buf = [0u8; HEADER_LEN as usize];
+    buf[0..4].copy_from_slice(&MAGIC);
+    buf[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    buf[8..16].copy_from_slice(&(h.num_users as u64).to_le_bytes());
+    buf[16..24].copy_from_slice(&(h.num_items as u64).to_le_bytes());
+    let crc = crc32(&buf[0..24]);
+    buf[24..28].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn parse_header(buf: &[u8]) -> Result<LogHeader, LogError> {
+    if buf.len() < HEADER_LEN as usize {
+        return Err(LogError::BadMagic);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(LogError::BadMagic);
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(LogError::BadVersion(version));
+    }
+    let stored = u32::from_le_bytes(buf[24..28].try_into().unwrap());
+    if stored != crc32(&buf[0..24]) {
+        return Err(LogError::HeaderCorrupt);
+    }
+    Ok(LogHeader {
+        num_users: u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize,
+        num_items: u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize,
+    })
+}
+
+/// Scan `bytes` (a whole log file) and classify its records.
+///
+/// Returns `(records, end_offset)`; `end_offset < bytes.len()` means the
+/// trailing bytes are a torn tail.
+fn scan(bytes: &[u8]) -> Result<(u64, u64), LogError> {
+    let mut off = HEADER_LEN as usize;
+    let mut records = 0u64;
+    while off < bytes.len() {
+        let have = bytes.len() - off;
+        if have < RECORD_LEN as usize {
+            break; // torn tail: record bytes run past EOF
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        if len != PAYLOAD_LEN {
+            // A sequential append writes the whole record buffer in order, so
+            // a complete length field with an impossible value is corruption,
+            // not a crash artifact.
+            return Err(LogError::Corrupt { offset: off as u64 });
+        }
+        let payload = &bytes[off + 4..off + 4 + PAYLOAD_LEN as usize];
+        let stored = u32::from_le_bytes(
+            bytes[off + 4 + PAYLOAD_LEN as usize..off + RECORD_LEN as usize]
+                .try_into()
+                .unwrap(),
+        );
+        if stored != crc32(payload) {
+            return Err(LogError::Corrupt { offset: off as u64 });
+        }
+        off += RECORD_LEN as usize;
+        records += 1;
+    }
+    Ok((records, off as u64))
+}
+
+fn decode_record(payload: &[u8]) -> Interaction {
+    Interaction {
+        user: u64::from_le_bytes(payload[0..8].try_into().unwrap()) as usize,
+        item: u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize,
+    }
+}
+
+impl StreamLog {
+    /// Create a new, empty log at `path` with a fixed catalog.
+    ///
+    /// Fails if the file already exists.
+    pub fn create(path: impl AsRef<Path>, header: LogHeader) -> Result<StreamLog, LogError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let mut w = BufWriter::new(&file);
+        w.write_all(&header_bytes(&header))?;
+        w.flush()?;
+        drop(w);
+        Ok(StreamLog {
+            path,
+            file,
+            header,
+            end: HEADER_LEN,
+            records: 0,
+        })
+    }
+
+    /// Open an existing log for appending.
+    ///
+    /// Validates the header, scans every record, truncates a torn tail, and
+    /// rejects mid-log corruption with [`LogError::Corrupt`].
+    pub fn open(path: impl AsRef<Path>) -> Result<(StreamLog, OpenReport), LogError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let header = parse_header(&bytes)?;
+        let (records, end) = scan(&bytes)?;
+        let truncated = bytes.len() as u64 - end;
+        if truncated > 0 {
+            file.set_len(end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(end))?;
+        let report = OpenReport {
+            records,
+            end,
+            truncated_bytes: truncated,
+        };
+        Ok((
+            StreamLog {
+                path,
+                file,
+                header,
+                end,
+                records,
+            },
+            report,
+        ))
+    }
+
+    /// Path the log was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The fixed catalog.
+    pub fn header(&self) -> LogHeader {
+        self.header
+    }
+
+    /// End offset: the byte offset one past the last valid record.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of valid records in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Append one interaction; returns the new end offset.
+    ///
+    /// Fault site `stream.append` fires before any bytes are written, so an
+    /// injected error never leaves a partial record.
+    pub fn append(&mut self, user: usize, item: usize) -> Result<u64, LogError> {
+        if user >= self.header.num_users || item == 0 || item > self.header.num_items {
+            return Err(LogError::OutOfCatalog {
+                user,
+                item,
+                num_users: self.header.num_users,
+                num_items: self.header.num_items,
+            });
+        }
+        ssdrec_faults::point("stream.append")?;
+        let mut buf = [0u8; RECORD_LEN as usize];
+        buf[0..4].copy_from_slice(&PAYLOAD_LEN.to_le_bytes());
+        buf[4..12].copy_from_slice(&(user as u64).to_le_bytes());
+        buf[12..20].copy_from_slice(&(item as u64).to_le_bytes());
+        let crc = crc32(&buf[4..20]);
+        buf[20..24].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&buf)?;
+        self.end += RECORD_LEN;
+        self.records += 1;
+        Ok(self.end)
+    }
+
+    /// Append a batch of `(user, item)` events; returns the new end offset.
+    pub fn append_all(
+        &mut self,
+        events: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<u64, LogError> {
+        for (user, item) in events {
+            self.append(user, item)?;
+        }
+        Ok(self.end)
+    }
+
+    /// Flush appended records to stable storage (fault site `stream.sync`).
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        ssdrec_faults::point("stream.sync")?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Read-only replay of the records in `[from, to)` byte offsets.
+///
+/// `from = HEADER_LEN` replays from the start; `to` is typically a consumed
+/// offset recorded in a versioned checkpoint, or [`StreamLog::end`]. Both
+/// bounds must lie on record boundaries. Replay never truncates the file —
+/// bytes at or past `to` (including a torn tail) are ignored.
+pub fn replay(path: impl AsRef<Path>, from: u64, to: u64) -> Result<Vec<Interaction>, LogError> {
+    let mut file = File::open(path.as_ref())?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    parse_header(&bytes)?;
+    let end = bytes.len() as u64;
+    let bound_ok =
+        |off: u64| off >= HEADER_LEN && off <= end && (off - HEADER_LEN) % RECORD_LEN == 0;
+    if !bound_ok(from) || !bound_ok(to) || from > to {
+        let bad = if bound_ok(from) { to } else { from };
+        return Err(LogError::BadOffset { offset: bad, end });
+    }
+    let mut out = Vec::with_capacity(((to - from) / RECORD_LEN) as usize);
+    let mut off = from as usize;
+    while (off as u64) < to {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let payload = &bytes[off + 4..off + 4 + PAYLOAD_LEN as usize];
+        let stored = u32::from_le_bytes(
+            bytes[off + 4 + PAYLOAD_LEN as usize..off + RECORD_LEN as usize]
+                .try_into()
+                .unwrap(),
+        );
+        if len != PAYLOAD_LEN || stored != crc32(payload) {
+            return Err(LogError::Corrupt { offset: off as u64 });
+        }
+        out.push(decode_record(payload));
+        off += RECORD_LEN as usize;
+    }
+    Ok(out)
+}
+
+/// Read a log's header without opening it for writing.
+pub fn read_header(path: impl AsRef<Path>) -> Result<LogHeader, LogError> {
+    let mut file = File::open(path.as_ref())?;
+    let mut buf = [0u8; HEADER_LEN as usize];
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = file.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Err(LogError::BadMagic);
+        }
+        filled += n;
+    }
+    parse_header(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_ieee_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = LogHeader {
+            num_users: 12,
+            num_items: 34,
+        };
+        assert_eq!(parse_header(&header_bytes(&h)).unwrap(), h);
+    }
+}

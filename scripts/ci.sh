@@ -29,6 +29,14 @@
 #      the exact-path baseline and /metrics must report the ann section.
 #  13. bench_serve --retrieval smoke: the recall harness runs in fast mode
 #      and BENCH_retrieval.json parses with recall@10 >= 0.95 per catalog.
+#  14. Hot-swap smoke: ingest the smoke profile into an append-only log,
+#      retrain into a versioned checkpoint dir, serve CURRENT, capture a
+#      baseline body, ingest a delta under an armed stream.append latency
+#      fault, retrain again, POST /reload — the body must change and
+#      /metrics must report swap_total:1 at the new model_version.
+#  15. bench_stream smoke: the online-loop harness (ingest throughput,
+#      delta-retrain wall-clock, swap pause p99) runs in fast mode and
+#      BENCH_stream.json parses with its telemetry fields present.
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
 # registry fails the build immediately.
@@ -336,5 +344,98 @@ fi
 # leaves the tree clean.
 git checkout -- BENCH_retrieval.json 2>/dev/null || true
 echo "ok: BENCH_retrieval.json written and valid"
+
+echo "== hot-swap smoke (ingest → retrain → serve --ckpt-dir → /reload) =="
+STREAM_DIR=target/ssdrec-smoke/stream
+rm -rf "$STREAM_DIR"
+mkdir -p "$STREAM_DIR"
+STREAM_LOG="$STREAM_DIR/events.sslg"
+STREAM_CKPTS="$STREAM_DIR/ckpts"
+RETRAIN_FLAGS="--epochs 1 --dim 8 --max-len 12 --seed 7 --batch-size 32"
+# Day 0: bulk-load the smoke profile into the append-only log, publish v1.
+./target/release/ssdrec ingest --log "$STREAM_LOG" $SMOKE_FLAGS >/dev/null
+./target/release/ssdrec retrain --log "$STREAM_LOG" --ckpt-dir "$STREAM_CKPTS" \
+    $RETRAIN_FLAGS >/dev/null
+./target/release/ssdrec serve --ckpt-dir "$STREAM_CKPTS" --log "$STREAM_LOG" \
+    --addr 127.0.0.1:0 --workers 1 --cache 0 >"$STREAM_DIR/serve.log" 2>&1 &
+SWAP_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's#^serving on http://##p' "$STREAM_DIR/serve.log" | head -1)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "hot-swap smoke FAILED: server did not announce its address"
+    kill "$SWAP_PID" 2>/dev/null || true
+    exit 1
+fi
+PORT=${ADDR##*:}
+V1_BODY=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+             printf 'GET /recommend?user=0&seq=1&k=5 HTTP/1.1\r\nHost: swap\r\nConnection: close\r\n\r\n' >&3 &&
+             cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } )
+if [ -z "$V1_BODY" ]; then
+    echo "hot-swap smoke FAILED: empty v1 baseline body"
+    kill "$SWAP_PID" 2>/dev/null || true
+    exit 1
+fi
+# Day 1: a small delta lands while a stream.append latency fault is armed
+# (the writer must absorb the injected stall without corrupting the log),
+# then the incremental round publishes v2.
+SSDREC_FAULTS="stream.append:delay50:1" \
+    ./target/release/ssdrec ingest --log "$STREAM_LOG" \
+    --events "0:1,1:2,2:1,0:2" >/dev/null
+./target/release/ssdrec retrain --log "$STREAM_LOG" --ckpt-dir "$STREAM_CKPTS" \
+    $RETRAIN_FLAGS >/dev/null
+RELOAD=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+            printf 'POST /reload HTTP/1.1\r\nHost: swap\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3 &&
+            cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } )
+if ! printf '%s' "$RELOAD" | grep -qF '"status":"swapped"'; then
+    echo "hot-swap smoke FAILED: /reload did not swap: $RELOAD"
+    kill "$SWAP_PID" 2>/dev/null || true
+    exit 1
+fi
+V2_BODY=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+             printf 'GET /recommend?user=0&seq=1&k=5 HTTP/1.1\r\nHost: swap\r\nConnection: close\r\n\r\n' >&3 &&
+             cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } )
+if [ "$V2_BODY" = "$V1_BODY" ]; then
+    echo "hot-swap smoke FAILED: the served body did not change after the swap"
+    kill "$SWAP_PID" 2>/dev/null || true
+    exit 1
+fi
+SWAP_METRICS=$( { exec 3<>"/dev/tcp/127.0.0.1/$PORT" &&
+                  printf 'GET /metrics HTTP/1.1\r\nHost: swap\r\nConnection: close\r\n\r\n' >&3 &&
+                  cat <&3 | awk 'body {print} /^\r?$/ {body=1}'; } )
+for want in '"swap_total":1' '"model_version":2' '"swap_failed_total":0'; do
+    if ! printf '%s' "$SWAP_METRICS" | grep -qF "$want"; then
+        echo "hot-swap smoke FAILED: /metrics missing $want: $SWAP_METRICS"
+        kill "$SWAP_PID" 2>/dev/null || true
+        exit 1
+    fi
+done
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'POST /shutdown HTTP/1.1\r\nHost: swap\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' >&3
+cat <&3 >/dev/null
+exec 3<&- 3>&-
+wait "$SWAP_PID"
+echo "ok: hot-swapped v1 → v2 with zero downtime; /metrics reports the swap"
+
+echo "== bench_stream online-loop smoke =="
+SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_stream >/dev/null
+test -f BENCH_stream.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+r = json.load(open("BENCH_stream.json"))
+assert r["ingest_records"] > 0 and r["ingest_records_per_sec"] > 0
+assert r["retrain_delta_ms"] > 0 and r["swaps"] > 0
+assert r["swap_pause_p99_ms"] >= 0 and r["pause_samples"] > 0
+assert r["final_model_version"] == 2 + r["swaps"]
+'
+fi
+# The smoke overwrote the committed full-mode report; restore it so CI
+# leaves the tree clean.
+git checkout -- BENCH_stream.json 2>/dev/null || true
+echo "ok: BENCH_stream.json written and valid"
 
 echo "CI: all checks passed"

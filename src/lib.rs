@@ -19,6 +19,7 @@
 //! | [`runtime`] | `ssdrec-runtime` | thread pool + deterministic parallel kernels |
 //! | [`ann`] | `ssdrec-ann` | deterministic HNSW candidate retrieval |
 //! | [`serve`] | `ssdrec-serve` | the online inference HTTP server |
+//! | [`stream`] | `ssdrec-stream` | interaction log, versioned checkpoints, incremental retrain |
 //! | [`faults`] | `ssdrec-faults` | deterministic fault-injection sites for chaos testing |
 //!
 //! ## Quickstart
@@ -47,4 +48,5 @@ pub use ssdrec_metrics as metrics;
 pub use ssdrec_models as models;
 pub use ssdrec_runtime as runtime;
 pub use ssdrec_serve as serve;
+pub use ssdrec_stream as stream;
 pub use ssdrec_tensor as tensor;

@@ -30,6 +30,10 @@ use ssdrec::serve::{
     client, json, request_with_retry, serve, ClientError, Engine, EngineConfig, RecError,
     RetryPolicy, ServerStats,
 };
+use ssdrec::stream::{
+    load_current, open_or_create_log, retrain, ArchSpec, CheckpointDir, LogHeader, RetrainOutcome,
+    RetrainSpec, StreamLog,
+};
 use ssdrec::tensor::save_params;
 use ssdrec_testkit::fault::{assert_fired_exactly, FaultPlan};
 
@@ -412,4 +416,285 @@ fn faulted_ann_build_fails_engine_construction_without_a_torn_index() {
     }
     exact.shutdown();
     ann.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming: kill mid-retrain / mid-publish / mid-swap, resume, equivalence
+// ---------------------------------------------------------------------------
+
+const STREAM_CATALOG: LogHeader = LogHeader {
+    num_users: 6,
+    num_items: 20,
+};
+
+fn stream_scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from("target")
+        .join("ssdrec-test")
+        .join(format!("chaos_stream_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn stream_spec() -> RetrainSpec {
+    let tc = TrainConfig::default();
+    RetrainSpec {
+        arch: ArchSpec {
+            backbone: BackboneKind::SasRec,
+            dim: 8,
+            max_len: 12,
+            seed: 7,
+        },
+        epochs: 3,
+        batch_size: 16,
+        lr: tc.lr,
+        weight_decay: tc.weight_decay,
+        checkpoint_every: 1,
+    }
+}
+
+fn seed_stream(log: &mut StreamLog) {
+    for u in 0..STREAM_CATALOG.num_users {
+        for t in 0..6 {
+            log.append(u, (u * 3 + t) % STREAM_CATALOG.num_items + 1)
+                .expect("append");
+        }
+    }
+    log.sync().expect("sync");
+}
+
+fn delta_stream(log: &mut StreamLog) {
+    for u in 0..STREAM_CATALOG.num_users {
+        log.append(u, (u + 7) % STREAM_CATALOG.num_items + 1)
+            .expect("append");
+    }
+    log.sync().expect("sync");
+}
+
+/// Ingest the day-0 history and publish v1 under `dir`.
+fn stream_world(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let log_path = dir.join("events.sslg");
+    let root = dir.join("ckpts");
+    let (mut log, _) = open_or_create_log(&log_path, Some(STREAM_CATALOG)).expect("create log");
+    seed_stream(&mut log);
+    drop(log);
+    match retrain(&log_path, &root, &stream_spec(), false).expect("publish v1") {
+        RetrainOutcome::Trained(t) => assert_eq!(t.version, 1),
+        other => panic!("expected v1, got {other:?}"),
+    }
+    (log_path, root)
+}
+
+fn append_delta(log_path: &std::path::Path) {
+    let (mut log, _) = open_or_create_log(log_path, None).expect("reopen log");
+    delta_stream(&mut log);
+}
+
+/// The published parameter bytes of version `v` (the serving artifact; the
+/// training-state file carries wall-clock fields and is excluded on purpose).
+fn published_model_bytes(root: &std::path::Path, v: u64) -> Vec<u8> {
+    std::fs::read(CheckpointDir::new(root).model_path(v)).expect("read published model")
+}
+
+/// What an engine booted from `CURRENT` answers for a fixed probe request.
+fn stream_served_bits(log_path: &std::path::Path, root: &std::path::Path) -> Vec<(usize, u32)> {
+    let cur = load_current(log_path, root)
+        .expect("load CURRENT")
+        .expect("published");
+    let engine = Engine::new(
+        cur.model.into(),
+        EngineConfig {
+            workers: 1,
+            max_len: cur.meta.spec.arch.max_len,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+        Arc::new(ServerStats::new()),
+    );
+    let rec = engine.recommend(0, &[3, 9, 4, 1], 8).expect("recommend");
+    rec.items.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+}
+
+#[test]
+fn killed_retrain_resumes_to_bytes_identical_to_uninterrupted_run() {
+    let _g = locked();
+    let prev_threads = ssdrec::runtime::threads();
+    for threads in [1usize, 4] {
+        ssdrec::runtime::set_threads(threads);
+        let tag = format!("retrain_t{threads}");
+
+        // Reference: v1 → delta → v2, never interrupted, in its own world.
+        let (ref_log, ref_root) = stream_world(&stream_scratch(&format!("{tag}_ref")));
+        append_delta(&ref_log);
+        match retrain(&ref_log, &ref_root, &stream_spec(), false).expect("reference v2") {
+            RetrainOutcome::Trained(t) => assert_eq!(t.version, 2),
+            other => panic!("expected v2, got {other:?}"),
+        }
+
+        // Victim: identical history, but the v2 round is killed by an
+        // injected panic right after the epoch-2 work checkpoint.
+        let (log, root) = stream_world(&stream_scratch(&format!("{tag}_victim")));
+        append_delta(&log);
+        {
+            let _armed = FaultPlan::new().panic("train.epoch", 2).arm();
+            let died = catch_unwind(AssertUnwindSafe(|| {
+                retrain(&log, &root, &stream_spec(), false)
+            }));
+            assert!(died.is_err(), "the injected panic must kill the round");
+            assert_fired_exactly("train.epoch", 1);
+        }
+        let cd = CheckpointDir::new(&root);
+        assert_eq!(
+            cd.current_version().expect("CURRENT"),
+            Some(1),
+            "kill must not flip CURRENT"
+        );
+        assert!(
+            cd.work_dir().exists(),
+            "the in-flight round must survive the kill"
+        );
+
+        // Resume: the re-run picks up the pinned round from work/ and lands
+        // on byte-identical published parameters and served response bits.
+        match retrain(&log, &root, &stream_spec(), false).expect("resumed v2") {
+            RetrainOutcome::Trained(t) => assert_eq!(t.version, 2),
+            other => panic!("expected v2, got {other:?}"),
+        }
+        assert!(!cd.work_dir().exists(), "publish must clear work/");
+        assert_eq!(
+            published_model_bytes(&root, 2),
+            published_model_bytes(&ref_root, 2),
+            "published v2 parameters diverged after kill+resume (threads={threads})"
+        );
+        assert_eq!(
+            stream_served_bits(&log, &root),
+            stream_served_bits(&ref_log, &ref_root),
+            "served bytes diverged after kill+resume (threads={threads})"
+        );
+    }
+    ssdrec::runtime::set_threads(prev_threads);
+}
+
+#[test]
+fn killed_publish_is_rerun_idempotently() {
+    let _g = locked();
+
+    let (ref_log, ref_root) = stream_world(&stream_scratch("publish_ref"));
+    append_delta(&ref_log);
+    retrain(&ref_log, &ref_root, &stream_spec(), false).expect("reference v2");
+
+    let (log, root) = stream_world(&stream_scratch("publish_victim"));
+    let v1_bits = stream_served_bits(&log, &root);
+    append_delta(&log);
+    // Kill inside the publish sequence: v2's files are being written but
+    // CURRENT has not flipped. Readers must still see v1 only.
+    {
+        let _armed = FaultPlan::new().error("stream.publish", 1).arm();
+        let err = retrain(&log, &root, &stream_spec(), false)
+            .expect_err("the injected publish fault must surface");
+        assert!(err.contains("stream.publish"), "{err}");
+        assert_fired_exactly("stream.publish", 1);
+    }
+    let cd = CheckpointDir::new(&root);
+    assert_eq!(
+        cd.current_version().expect("CURRENT"),
+        Some(1),
+        "torn publish must not flip CURRENT"
+    );
+    assert_eq!(
+        stream_served_bits(&log, &root),
+        v1_bits,
+        "CURRENT must still serve v1's bytes"
+    );
+
+    // The re-run completes the same pinned round; the published bytes match
+    // the never-interrupted reference exactly.
+    match retrain(&log, &root, &stream_spec(), false).expect("rerun v2") {
+        RetrainOutcome::Trained(t) => assert_eq!(t.version, 2),
+        other => panic!("expected v2, got {other:?}"),
+    }
+    assert_eq!(cd.current_version().expect("CURRENT"), Some(2));
+    assert_eq!(
+        published_model_bytes(&root, 2),
+        published_model_bytes(&ref_root, 2),
+        "published v2 parameters diverged after a torn publish"
+    );
+}
+
+#[test]
+fn killed_swap_keeps_v1_serving_until_the_retry_lands_v2() {
+    use ssdrec::serve::{EngineSlot, LoadedModel, ReloadOutcome};
+
+    let _g = locked();
+    let (log_path, root) = stream_world(&stream_scratch("swap"));
+
+    let booted = load_current(&log_path, &root)
+        .expect("load")
+        .expect("published");
+    let max_len = booted.meta.spec.arch.max_len;
+    let stats = Arc::new(ServerStats::new());
+    let engine = Engine::new(
+        booted.model.into(),
+        EngineConfig {
+            workers: 1,
+            max_len,
+            cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+        Arc::clone(&stats),
+    );
+    let (l, r) = (log_path.clone(), root.clone());
+    let slot = EngineSlot::reloadable(
+        engine,
+        booted.version,
+        Box::new(move |current| {
+            Ok(
+                ssdrec::stream::load_newer(&l, &r, current)?.map(|newer| LoadedModel {
+                    model: newer.model.into(),
+                    version: newer.version,
+                }),
+            )
+        }),
+    );
+    let probe = |slot: &EngineSlot| -> Vec<(usize, u32)> {
+        let rec = slot
+            .engine()
+            .recommend(0, &[3, 9, 4, 1], 8)
+            .expect("recommend");
+        rec.items.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+    };
+    let v1_bits = probe(&slot);
+
+    // Publish v2, then kill the swap at the deliberate kill point — after
+    // the replacement engine is built, before the commit.
+    append_delta(&log_path);
+    retrain(&log_path, &root, &stream_spec(), false).expect("publish v2");
+    {
+        let _armed = FaultPlan::new().panic("serve.swap", 1).arm();
+        let err = slot
+            .reload()
+            .expect_err("the injected swap fault must surface");
+        assert!(err.contains("serve.swap"), "{err}");
+        assert_fired_exactly("serve.swap", 1);
+    }
+    assert_eq!(
+        stats.model_version(),
+        1,
+        "killed swap must not flip the version"
+    );
+    assert_eq!(stats.swap_failed_total.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        probe(&slot),
+        v1_bits,
+        "v1 must keep serving bit-identically after the kill"
+    );
+
+    // The retry lands v2 and serves exactly the published bytes.
+    assert_eq!(
+        slot.reload().expect("retry"),
+        ReloadOutcome::Swapped { version: 2 }
+    );
+    assert_eq!(probe(&slot), stream_served_bits(&log_path, &root));
+    assert_eq!(stats.swap_total.load(Ordering::SeqCst), 1);
+    slot.shutdown();
 }
