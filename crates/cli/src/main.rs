@@ -14,10 +14,19 @@
 //!                  (same data/arch flags as train)
 //! ssdrec serve     --ckpt-dir DIR --log PATH [--watch-current [--reload-poll-ms MS]]
 //!                  (versioned serving with POST /reload hot-swap)
-//! ssdrec ingest    --log PATH [--events "u:i,u:i,..."]
+//! ssdrec ingest    --log PATH [--events "u:i,u:i,..."] [--data FILE.ssdc]
 //!                  [--profile NAME --scale F --seed S | --users N --items M]
 //! ssdrec retrain   --log PATH --ckpt-dir DIR [--epochs N] (same arch flags as train)
+//! ssdrec gen-data  --out FILE.ssdc [--profile NAME --scale F --seed S |
+//!                  --file PATH --format movielens|csv]
 //! ```
+//!
+//! `gen-data` materializes a dataset as a binary columnar `.ssdc` file;
+//! `train --data FILE.ssdc` trains straight off it. `--data-mode windowed`
+//! (the default) streams sequences through a bounded window so peak RAM
+//! stays independent of corpus size; `--data-mode ram` decodes the file
+//! fully first. Both modes are bit-identical: same batches, same metrics,
+//! same checkpoints.
 //!
 //! `--baseline` trains the bare backbone instead of wrapping it in SSDRec.
 //! `--state PATH` checkpoints full training state (params, optimizer
@@ -37,11 +46,16 @@ use std::process::ExitCode;
 
 use args::Args;
 use ssdrec_core::{SsdRec, SsdRecConfig};
-use ssdrec_data::{load_interactions, prepare, Dataset, LoadOptions, Split, SyntheticConfig};
+use ssdrec_data::{
+    decode_dataset, load_interactions, load_to_columnar, plan_leave_one_out, prepare,
+    ColumnarReader, Dataset, LoadOptions, SequenceStore, Split, StoreExamples, SyntheticConfig,
+    TruncatedStore,
+};
 use ssdrec_denoise::Denoiser;
-use ssdrec_graph::{build_graph, GraphConfig, MultiRelationGraph};
+use ssdrec_graph::{build_graph, build_graph_from_store, GraphConfig, MultiRelationGraph};
 use ssdrec_models::{
-    train, train_with_checkpoints, BackboneKind, CheckpointConfig, RecModel, SeqRec, TrainConfig,
+    train, train_from_source, train_with_checkpoints, BackboneKind, CheckpointConfig, RecModel,
+    SeqRec, SourceSplit, TrainConfig,
 };
 use ssdrec_serve::{
     Engine, EngineConfig, EngineSlot, InferenceModel, LoadedModel, ModelLoader, RetrievalConfig,
@@ -54,10 +68,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> &'static str {
-    "usage: ssdrec <stats|train|recommend|denoise|serve|ingest|retrain> [options]\n\
+    "usage: ssdrec <stats|train|recommend|denoise|serve|ingest|retrain|gen-data> [options]\n\
      run `ssdrec <command> --help`-style flags per the module docs; common options:\n\
      --profile beauty|sports|yelp|ml-100k|ml-1m   synthetic profile (default beauty)\n\
      --file PATH --format movielens|csv           load real interaction data instead\n\
+     --out FILE.ssdc  destination columnar file (gen-data)\n\
+     --data FILE.ssdc train/ingest from a columnar file (train, ingest)\n\
+     --data-mode windowed|ram   how train reads --data (default windowed;\n\
+                     both modes are bit-identical, windowed bounds peak RAM)\n\
      --backbone SASRec|GRU4Rec|NARM|STAMP|Caser|BERT4Rec (default SASRec)\n\
      --dim D --epochs E --batch-size B --max-len L --seed S\n\
      --baseline      train the bare backbone (no SSDRec wrapper)\n\
@@ -258,6 +276,12 @@ fn checkpoint_config(a: &Args) -> Result<Option<CheckpointConfig>, String> {
 }
 
 fn cmd_train(a: &Args) -> Result<(), String> {
+    if let Some(data) = a.get("data") {
+        if a.get("file").is_some() || a.get("profile").is_some() {
+            return Err("--data is exclusive with --file/--profile".into());
+        }
+        return cmd_train_data(a, data);
+    }
     let prep = prepare_data(a)?;
     println!(
         "data: {} items, {} train / {} valid / {} test examples",
@@ -303,6 +327,139 @@ fn cmd_train(a: &Args) -> Result<(), String> {
         save_params(&store_snapshot, out).map_err(|e| e.to_string())?;
         println!("checkpoint written to {out}");
     }
+    Ok(())
+}
+
+/// `train --data FILE.ssdc [--data-mode windowed|ram]`: the out-of-core
+/// training path. Sequences are truncated lazily to `--max-len`, split with
+/// leave-one-out (min length 3, up to 3 training prefixes per user), the
+/// graph is built in counting passes over the store, and the trainer pulls
+/// batches through [`StoreExamples`] — in `windowed` mode nothing ever
+/// materializes the whole corpus. Both modes print identical metric lines,
+/// which CI diffs to pin the bit-identity contract.
+fn cmd_train_data(a: &Args, data: &str) -> Result<(), String> {
+    let mode = a.get_or("data-mode", "windowed");
+    let max_len: usize = a.get_parse("max-len", 50)?;
+    // Whichever backing store we open must outlive the training run.
+    let reader;
+    let dataset;
+    let base: &dyn SequenceStore = match mode {
+        "windowed" => {
+            reader = ColumnarReader::open(data).map_err(|e| e.to_string())?;
+            &reader
+        }
+        "ram" => {
+            dataset = decode_dataset(data).map_err(|e| e.to_string())?;
+            &dataset
+        }
+        other => {
+            return Err(format!(
+                "unknown --data-mode {other} (expected \"windowed\" or \"ram\")"
+            ))
+        }
+    };
+    let store = TruncatedStore::new(base, max_len);
+    let plan = plan_leave_one_out(&store, 3, 3);
+    if plan.test.is_empty() {
+        return Err("no usable sequences in the columnar file (need length ≥ 3)".into());
+    }
+    println!(
+        "data: {} items, {} train / {} valid / {} test examples",
+        store.num_items(),
+        plan.train.len(),
+        plan.valid.len(),
+        plan.test.len()
+    );
+    println!("mode : {mode} ({data})");
+    let graph = build_graph_from_store(&store, &GraphConfig::default());
+    let tc = train_config(a)?;
+    let ckpt = checkpoint_config(a)?;
+    let tr = StoreExamples {
+        store: &store,
+        refs: &plan.train,
+    };
+    let va = StoreExamples {
+        store: &store,
+        refs: &plan.valid,
+    };
+    let te = StoreExamples {
+        store: &store,
+        refs: &plan.test,
+    };
+    let sources = SourceSplit {
+        train: &tr,
+        valid: &va,
+        test: &te,
+    };
+    let (name, report, store_snapshot) = if a.has_flag("baseline") {
+        let mut model = SeqRec::new(
+            backbone(a)?,
+            store.num_items(),
+            a.get_parse("dim", 16)?,
+            max_len,
+            a.get_parse("seed", 7)?,
+        );
+        let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
+        (model.model_name(), report, model.store)
+    } else {
+        let cfg = SsdRecConfig {
+            dim: a.get_parse("dim", 16)?,
+            max_len,
+            backbone: backbone(a)?,
+            seed: a.get_parse("seed", 7)?,
+            ..SsdRecConfig::default()
+        };
+        let mut model = SsdRec::new(&graph, cfg);
+        let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
+        (model.model_name(), report, model.store)
+    };
+    println!("model : {name}");
+    println!("epochs: {}", report.epochs_run);
+    println!("valid : {}", report.valid);
+    println!("test  : {}", report.test);
+    if let Some(out) = a.get("out") {
+        save_params(&store_snapshot, out).map_err(|e| e.to_string())?;
+        println!("checkpoint written to {out}");
+    }
+    Ok(())
+}
+
+/// `gen-data --out FILE.ssdc`: materialize a dataset as a binary columnar
+/// file — streaming straight from the synthetic generator (profiles) or
+/// converted from a text interaction file (`--file/--format`). The write is
+/// atomic (temp + rename), so a crash never leaves a torn file behind.
+fn cmd_gen_data(a: &Args) -> Result<(), String> {
+    let out = a
+        .get("out")
+        .ok_or("gen-data requires --out FILE.ssdc (the destination columnar file)")?;
+    let summary = if let Some(path) = a.get("file") {
+        let opts = match a.get_or("format", "csv") {
+            "movielens" => LoadOptions::movielens(),
+            "csv" => LoadOptions::csv_triples(),
+            other => return Err(format!("unknown --format {other}")),
+        };
+        load_to_columnar(path, &opts, out).map_err(|e| e.to_string())?
+    } else {
+        let name = a.get_or("profile", "beauty");
+        let cfg = match name {
+            "beauty" => SyntheticConfig::beauty(),
+            "sports" => SyntheticConfig::sports(),
+            "yelp" => SyntheticConfig::yelp(),
+            "ml-100k" => SyntheticConfig::ml100k(),
+            "ml-1m" => SyntheticConfig::ml1m(),
+            other => return Err(format!("unknown --profile {other}")),
+        };
+        let scale: f64 = a.get_parse("scale", 0.5)?;
+        let seed: u64 = a.get_parse("seed", 7)?;
+        cfg.scaled(scale)
+            .with_seed(seed)
+            .generate_to(out)
+            .map_err(|e| e.to_string())?
+    };
+    println!(
+        "wrote {out}: {} users, {} interactions, {} bytes",
+        summary.num_users, summary.num_interactions, summary.bytes
+    );
     Ok(())
 }
 
@@ -463,8 +620,35 @@ fn reload_poll(a: &Args) -> Result<Option<Duration>, String> {
 fn cmd_ingest(a: &Args) -> Result<(), String> {
     let log_path = a.get("log").ok_or("ingest requires --log PATH")?;
     let explicit = explicit_catalog(a)?;
-    // Event source: an explicit --events list, else a bulk load of the
-    // synthetic profile (user-major, time-ordered within each user).
+    if a.get("data").is_some() && a.get("events").is_some() {
+        return Err("--data and --events are mutually exclusive".into());
+    }
+    // Event source: a columnar file (bulk-loaded without materializing it),
+    // an explicit --events list, else a bulk load of the synthetic profile
+    // (user-major, time-ordered within each user).
+    if let Some(data) = a.get("data") {
+        let reader = ColumnarReader::open(data).map_err(|e| e.to_string())?;
+        let catalog = explicit.or(Some(LogHeader {
+            num_users: ColumnarReader::num_users(&reader),
+            num_items: ColumnarReader::num_items(&reader),
+        }));
+        let (mut log, created) = ssdrec_stream::open_or_create_log(Path::new(log_path), catalog)?;
+        let before = log.records();
+        log.bulk_load(&reader).map_err(|e| e.to_string())?;
+        log.sync().map_err(|e| e.to_string())?;
+        let h = log.header();
+        println!(
+            "{} {} ({} users, {} items): +{} records, {} total, end offset {}",
+            if created { "created" } else { "appended to" },
+            log_path,
+            h.num_users,
+            h.num_items,
+            log.records() - before,
+            log.records(),
+            log.end()
+        );
+        return Ok(());
+    }
     let (catalog, events): (Option<LogHeader>, Vec<(usize, usize)>) = match a.get("events") {
         Some(spec) => (explicit, parse_events(spec)?),
         None => {
@@ -681,6 +865,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args),
         Some("ingest") => cmd_ingest(&args),
         Some("retrain") => cmd_retrain(&args),
+        Some("gen-data") => cmd_gen_data(&args),
         _ => {
             eprintln!("{}", usage());
             return ExitCode::FAILURE;

@@ -8,6 +8,7 @@ use ssdrec_testkit::Rng;
 use std::collections::BTreeMap;
 
 use crate::interaction::Example;
+use crate::store::{ExampleRef, SequenceStore};
 
 /// One dense mini-batch of equal-length sequences.
 #[derive(Clone, Debug)]
@@ -41,27 +42,65 @@ impl Batch {
     }
 }
 
-/// Deterministically batch `examples` into equal-length groups of at most
-/// `batch_size`, shuffling example order with `seed` (shuffle happens within
-/// the global list before bucketing, so bucket composition varies per epoch).
-pub fn make_batches(examples: &[Example], batch_size: usize, seed: u64) -> Vec<Batch> {
+/// One planned batch: a shared sequence length and the example indices that
+/// fill it, in emission order. Materializing the items is the caller's job —
+/// the plan itself is a few `usize`s per example.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Sequence length `T` shared by the whole batch.
+    pub seq_len: usize,
+    /// Indices into the caller's example list, in batch row order.
+    pub idxs: Vec<usize>,
+}
+
+/// The batching decision of [`make_batches`], computed from example
+/// *lengths* alone: shuffle example order with `seed`, bucket by exact
+/// length (preserving shuffled order inside buckets), chunk each bucket by
+/// `batch_size`, then shuffle the batch order.
+///
+/// This consumes the exact RNG draw sequence `make_batches` historically
+/// consumed (one shuffle over examples, one over batches), so planning over
+/// a store and batching owned examples are bit-identical.
+pub fn plan_batches(lengths: &[usize], batch_size: usize, seed: u64) -> Vec<BatchPlan> {
     assert!(batch_size > 0, "batch_size must be positive");
-    let mut order: Vec<usize> = (0..examples.len()).collect();
+    let mut order: Vec<usize> = (0..lengths.len()).collect();
     let mut rng = Rng::seed(seed);
     rng.shuffle(&mut order);
 
     // Bucket by exact length, preserving shuffled order inside buckets.
     let mut buckets: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for &i in &order {
-        buckets.entry(examples[i].seq.len()).or_default().push(i);
+        buckets.entry(lengths[i]).or_default().push(i);
     }
 
-    let mut batches = Vec::new();
+    let mut plans = Vec::new();
     for (len, idxs) in buckets {
         if len == 0 {
             continue;
         }
         for chunk in idxs.chunks(batch_size) {
+            plans.push(BatchPlan {
+                seq_len: len,
+                idxs: chunk.to_vec(),
+            });
+        }
+    }
+
+    // Shuffle batch order so the model does not see lengths in sorted order.
+    rng.shuffle(&mut plans);
+    plans
+}
+
+/// Deterministically batch `examples` into equal-length groups of at most
+/// `batch_size`, shuffling example order with `seed` (shuffle happens within
+/// the global list before bucketing, so bucket composition varies per epoch).
+pub fn make_batches(examples: &[Example], batch_size: usize, seed: u64) -> Vec<Batch> {
+    let lengths: Vec<usize> = examples.iter().map(|e| e.seq.len()).collect();
+    plan_batches(&lengths, batch_size, seed)
+        .into_iter()
+        .map(|plan| {
+            let len = plan.seq_len;
+            let chunk = &plan.idxs;
             let mut users = Vec::with_capacity(chunk.len());
             let mut items = Vec::with_capacity(chunk.len() * len);
             let mut targets = Vec::with_capacity(chunk.len());
@@ -80,19 +119,135 @@ pub fn make_batches(examples: &[Example], batch_size: usize, seed: u64) -> Vec<B
                     nv.extend_from_slice(exn);
                 }
             }
-            batches.push(Batch {
+            Batch {
                 users,
                 items,
                 seq_len: len,
                 targets,
                 noise,
-            });
+            }
+        })
+        .collect()
+}
+
+/// Lazily materialized batches over a [`SequenceStore`] and a slice of
+/// [`ExampleRef`]s: the batching decision comes from [`plan_batches`] (so it
+/// is bit-identical to [`make_batches`] over the materialized examples), but
+/// item data is read from the store one batch at a time — peak RAM is one
+/// batch plus the plan, independent of corpus size.
+pub struct BatchIter<'a> {
+    store: &'a dyn SequenceStore,
+    refs: &'a [ExampleRef],
+    plans: std::vec::IntoIter<BatchPlan>,
+    num_batches: usize,
+    seq: Vec<usize>,
+    nz: Vec<bool>,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Plan batches for `refs` over `store` with the same `(batch_size,
+    /// seed)` contract as [`make_batches`].
+    pub fn new(
+        store: &'a dyn SequenceStore,
+        refs: &'a [ExampleRef],
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        let lengths: Vec<usize> = refs.iter().map(|r| r.prefix_len as usize).collect();
+        let plans = plan_batches(&lengths, batch_size, seed);
+        BatchIter {
+            store,
+            refs,
+            num_batches: plans.len(),
+            plans: plans.into_iter(),
+            seq: Vec::new(),
+            nz: Vec::new(),
         }
     }
 
-    // Shuffle batch order so the model does not see lengths in sorted order.
-    rng.shuffle(&mut batches);
-    batches
+    /// Total number of batches this iterator will yield.
+    pub fn num_batches(&self) -> usize {
+        self.num_batches
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        let plan = self.plans.next()?;
+        let len = plan.seq_len;
+        let mut users = Vec::with_capacity(plan.idxs.len());
+        let mut items = Vec::with_capacity(plan.idxs.len() * len);
+        let mut targets = Vec::with_capacity(plan.idxs.len());
+        let mut noise = self
+            .store
+            .has_noise()
+            .then(|| Vec::with_capacity(plan.idxs.len() * len));
+        for &i in &plan.idxs {
+            let r = self.refs[i];
+            let p = r.prefix_len as usize;
+            self.store.read_seq(r.user as usize, &mut self.seq);
+            users.push(r.user as usize);
+            items.extend_from_slice(&self.seq[..p]);
+            targets.push(self.seq[p]);
+            if let Some(nv) = noise.as_mut() {
+                self.store.read_noise(r.user as usize, &mut self.nz);
+                nv.extend_from_slice(&self.nz[..p]);
+            }
+        }
+        Some(Batch {
+            users,
+            items,
+            seq_len: len,
+            targets,
+            noise,
+        })
+    }
+}
+
+/// Anything the trainer can draw deterministic batch streams from: an owned
+/// example list (the classical [`Split`](crate::interaction::Split) path) or
+/// a store + plan pair (the out-of-core path). Both produce bit-identical
+/// batches for the same `(batch_size, seed)`.
+pub trait BatchSource {
+    /// Number of examples behind this source.
+    fn num_examples(&self) -> usize;
+    /// Visit every batch of one epoch in order.
+    fn for_each_batch(&self, batch_size: usize, seed: u64, f: &mut dyn FnMut(&Batch));
+}
+
+impl BatchSource for &[Example] {
+    fn num_examples(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_batch(&self, batch_size: usize, seed: u64, f: &mut dyn FnMut(&Batch)) {
+        for b in make_batches(self, batch_size, seed) {
+            f(&b);
+        }
+    }
+}
+
+/// The out-of-core [`BatchSource`]: examples live in a [`SequenceStore`],
+/// described by [`ExampleRef`]s.
+pub struct StoreExamples<'a> {
+    /// Backing store.
+    pub store: &'a dyn SequenceStore,
+    /// Example metadata.
+    pub refs: &'a [ExampleRef],
+}
+
+impl BatchSource for StoreExamples<'_> {
+    fn num_examples(&self) -> usize {
+        self.refs.len()
+    }
+
+    fn for_each_batch(&self, batch_size: usize, seed: u64, f: &mut dyn FnMut(&Batch)) {
+        for b in BatchIter::new(self.store, self.refs, batch_size, seed) {
+            f(&b);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,17 +11,30 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod colfile;
+pub mod format;
 pub mod interaction;
 pub mod loader;
 pub mod noise;
 pub mod preprocess;
+pub mod store;
 pub mod synthetic;
 
-pub use batch::{make_batches, Batch};
+pub use batch::{
+    make_batches, plan_batches, Batch, BatchIter, BatchPlan, BatchSource, StoreExamples,
+};
+pub use colfile::{
+    decode_dataset, encode_dataset, ColumnarReader, ColumnarSummary, ColumnarWriter,
+};
+pub use format::{crc32, Crc32, FormatError};
 pub use interaction::{Dataset, Example, Interaction, Split, PAD_ITEM};
-pub use loader::{load_interactions, parse_interactions, LoadOptions};
+pub use loader::{
+    load_interactions, load_to_columnar, parse_interactions, parse_interactions_to_columnar,
+    LoadError, LoadOptions,
+};
 pub use noise::inject_unobserved;
-pub use preprocess::{k_core_filter, leave_one_out, truncate_to_max_len};
+pub use preprocess::{k_core_filter, leave_one_out, plan_leave_one_out, truncate_to_max_len};
+pub use store::{ExampleRef, SequenceStore, SplitPlan, TruncatedStore};
 pub use synthetic::{item_cluster, SyntheticConfig};
 
 /// Run the paper's full preprocessing pipeline on a dataset: 5-core filter,

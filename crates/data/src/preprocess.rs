@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use crate::interaction::{Dataset, Example, Split};
+use crate::store::{ExampleRef, SequenceStore, SplitPlan};
 
 /// Iteratively drop items with frequency `< min_item_freq` and sequences
 /// shorter than `min_seq_len`, until a fixed point (k-core filtering).
@@ -153,6 +154,47 @@ pub fn leave_one_out(ds: &Dataset, min_len: usize, max_train_prefixes: usize) ->
         }
     }
     split
+}
+
+/// The leave-one-out split as metadata only: identical example structure to
+/// [`leave_one_out`] (same users, same prefix boundaries, same order), but
+/// over any [`SequenceStore`] and without materializing a single item
+/// vector — ~8 bytes per example instead of the full prefix.
+///
+/// `plan_leave_one_out(&ds, …).materialize(&ds)` equals
+/// `leave_one_out(&ds, …)` example for example (pinned by a test in
+/// [`crate::store`]).
+pub fn plan_leave_one_out(
+    store: &dyn SequenceStore,
+    min_len: usize,
+    max_train_prefixes: usize,
+) -> SplitPlan {
+    assert!(min_len >= 3, "leave-one-out needs ≥ 3 interactions");
+    let mut plan = SplitPlan::default();
+    for u in 0..store.num_users() {
+        let n = store.seq_len(u);
+        if n < min_len {
+            continue;
+        }
+        let user = u as u32;
+        plan.test.push(ExampleRef {
+            user,
+            prefix_len: (n - 1) as u32,
+        });
+        plan.valid.push(ExampleRef {
+            user,
+            prefix_len: (n - 2) as u32,
+        });
+        let last_t = n - 2;
+        let first_t = 2usize.max(last_t.saturating_sub(max_train_prefixes));
+        for t in first_t..last_t {
+            plan.train.push(ExampleRef {
+                user,
+                prefix_len: t as u32,
+            });
+        }
+    }
+    plan
 }
 
 #[cfg(test)]

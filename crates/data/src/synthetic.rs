@@ -22,8 +22,12 @@
 //!   provide. This gives Fig. 1's over/under-denoising ratios an exact
 //!   footing.
 
+use std::path::Path;
+
 use ssdrec_testkit::Rng;
 
+use crate::colfile::{ColumnarSummary, ColumnarWriter};
+use crate::format::FormatError;
 use crate::interaction::Dataset;
 
 /// Configuration for the cluster-Markov generator.
@@ -143,17 +147,15 @@ impl SyntheticConfig {
         self
     }
 
-    /// Generate the dataset.
-    pub fn generate(&self) -> Dataset {
+    /// Item-to-cluster assignment tables shared by [`SyntheticConfig::generate`]
+    /// and [`SyntheticConfig::generate_to`]: round-robin cluster membership
+    /// plus Zipf popularity weights within each cluster.
+    fn cluster_tables(&self) -> (Vec<Vec<usize>>, Vec<Vec<f64>>) {
         assert!(self.num_clusters >= 2, "need at least 2 clusters");
         assert!(
             self.num_items >= self.num_clusters,
             "more clusters than items"
         );
-        let mut rng = Rng::seed(self.seed);
-
-        // Assign items round-robin to clusters, then build Zipf popularity
-        // weights within each cluster.
         let mut cluster_items: Vec<Vec<usize>> = vec![Vec::new(); self.num_clusters];
         for item in 1..=self.num_items {
             cluster_items[(item - 1) % self.num_clusters].push(item);
@@ -166,42 +168,75 @@ impl SyntheticConfig {
                     .collect()
             })
             .collect();
+        (cluster_items, cluster_weights)
+    }
+
+    /// Sample user `u`'s sequence and noise labels into `seq`/`lab`
+    /// (cleared first). Both generation paths call this with the same RNG in
+    /// the same per-user order, so their outputs are identical.
+    fn sample_user(
+        &self,
+        u: usize,
+        rng: &mut Rng,
+        cluster_items: &[Vec<usize>],
+        cluster_weights: &[Vec<f64>],
+        seq: &mut Vec<usize>,
+        lab: &mut Vec<bool>,
+    ) {
+        // Spread of lengths: uniform in [min_len, 2*avg_len - min_len],
+        // so the mean is ~avg_len.
+        let hi = (2 * self.avg_len)
+            .saturating_sub(self.min_len)
+            .max(self.min_len + 1);
+        let len = rng.between(self.min_len, hi);
+
+        let mut cluster = u % self.num_clusters; // user's home cluster
+        seq.clear();
+        lab.clear();
+        seq.reserve(len);
+        lab.reserve(len);
+        for _ in 0..len {
+            if rng.bernoulli(self.noise_ratio) {
+                // Uniform-random accidental interaction.
+                seq.push(rng.between(1, self.num_items));
+                lab.push(true);
+                continue;
+            }
+            if !rng.bernoulli(self.stay_prob) {
+                // Ring topology: mostly advance to the next cluster,
+                // occasionally jump back.
+                cluster = if rng.bernoulli(0.8) {
+                    (cluster + 1) % self.num_clusters
+                } else {
+                    (cluster + self.num_clusters - 1) % self.num_clusters
+                };
+            }
+            let idx = rng.weighted_index_f64(&cluster_weights[cluster]);
+            seq.push(cluster_items[cluster][idx]);
+            lab.push(false);
+        }
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let (cluster_items, cluster_weights) = self.cluster_tables();
+        let mut rng = Rng::seed(self.seed);
 
         let mut sequences = Vec::with_capacity(self.num_users);
         let mut labels = Vec::with_capacity(self.num_users);
+        let mut seq = Vec::new();
+        let mut lab = Vec::new();
         for u in 0..self.num_users {
-            // Spread of lengths: uniform in [min_len, 2*avg_len - min_len],
-            // so the mean is ~avg_len.
-            let hi = (2 * self.avg_len)
-                .saturating_sub(self.min_len)
-                .max(self.min_len + 1);
-            let len = rng.between(self.min_len, hi);
-
-            let mut cluster = u % self.num_clusters; // user's home cluster
-            let mut seq = Vec::with_capacity(len);
-            let mut lab = Vec::with_capacity(len);
-            for _ in 0..len {
-                if rng.bernoulli(self.noise_ratio) {
-                    // Uniform-random accidental interaction.
-                    seq.push(rng.between(1, self.num_items));
-                    lab.push(true);
-                    continue;
-                }
-                if !rng.bernoulli(self.stay_prob) {
-                    // Ring topology: mostly advance to the next cluster,
-                    // occasionally jump back.
-                    cluster = if rng.bernoulli(0.8) {
-                        (cluster + 1) % self.num_clusters
-                    } else {
-                        (cluster + self.num_clusters - 1) % self.num_clusters
-                    };
-                }
-                let idx = rng.weighted_index_f64(&cluster_weights[cluster]);
-                seq.push(cluster_items[cluster][idx]);
-                lab.push(false);
-            }
-            sequences.push(seq);
-            labels.push(lab);
+            self.sample_user(
+                u,
+                &mut rng,
+                &cluster_items,
+                &cluster_weights,
+                &mut seq,
+                &mut lab,
+            );
+            sequences.push(seq.clone());
+            labels.push(lab.clone());
         }
 
         let ds = Dataset {
@@ -213,6 +248,34 @@ impl SyntheticConfig {
         };
         debug_assert!(ds.validate().is_ok());
         ds
+    }
+
+    /// Stream the dataset straight into a columnar file at `path` without
+    /// ever holding more than one user's sequence in RAM.
+    ///
+    /// The RNG draw sequence is identical to [`SyntheticConfig::generate`],
+    /// so the produced file is byte-identical to
+    /// `encode_dataset(&cfg.generate(), path)` — pinned by the property
+    /// suite — while peak memory stays flat in the user count.
+    pub fn generate_to(&self, path: impl AsRef<Path>) -> Result<ColumnarSummary, FormatError> {
+        let (cluster_items, cluster_weights) = self.cluster_tables();
+        let mut rng = Rng::seed(self.seed);
+
+        let mut w = ColumnarWriter::create(path, &self.name, self.num_items, true, false)?;
+        let mut seq = Vec::new();
+        let mut lab = Vec::new();
+        for u in 0..self.num_users {
+            self.sample_user(
+                u,
+                &mut rng,
+                &cluster_items,
+                &cluster_weights,
+                &mut seq,
+                &mut lab,
+            );
+            w.push_user(&seq, Some(&lab), None)?;
+        }
+        w.finish()
     }
 }
 

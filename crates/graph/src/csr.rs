@@ -23,6 +23,17 @@ impl Csr {
         Csr { offsets, nbrs }
     }
 
+    /// Build directly from raw CSR arrays, as produced by counting-pass
+    /// construction: `offsets` must be monotone with `offsets[0] == 0` and
+    /// `offsets.last() == nbrs.len()` (node `i` owns
+    /// `nbrs[offsets[i]..offsets[i+1]]`).
+    pub fn from_parts(offsets: Vec<usize>, nbrs: Vec<(usize, f32)>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0, "bad offsets");
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "non-monotone");
+        debug_assert_eq!(*offsets.last().unwrap(), nbrs.len(), "length mismatch");
+        Csr { offsets, nbrs }
+    }
+
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.offsets.len().saturating_sub(1)

@@ -11,6 +11,6 @@ pub mod build;
 pub mod csr;
 pub mod stats;
 
-pub use build::{build_graph, GraphConfig, MultiRelationGraph};
+pub use build::{build_graph, build_graph_from_store, GraphConfig, MultiRelationGraph};
 pub use csr::Csr;
 pub use stats::{summarize, DegreeSummary, GraphReport};

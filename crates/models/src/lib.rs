@@ -21,6 +21,7 @@ pub use checkpoint::{load_train_state, save_train_state, CheckpointConfig, Train
 pub use encoder::{BackboneKind, SeqEncoder};
 pub use model::{build_encoder, FrozenScorer, Objective, RecModel, SeqRec};
 pub use trainer::{
-    evaluate, train, train_with_checkpoints, train_with_warm_start, LrSchedule, TrainConfig,
+    evaluate, evaluate_source_with, evaluate_with, train, train_from_source,
+    train_with_checkpoints, train_with_warm_start, LrSchedule, SourceSplit, TrainConfig,
     TrainReport,
 };

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use ssdrec_data::{make_batches, Example, Split};
+use ssdrec_data::{BatchSource, Example, Split};
 use ssdrec_metrics::{rank_rows, RankingAccumulator};
 use ssdrec_tensor::{Adam, Gradients, Graph, Rng};
 
@@ -121,9 +121,20 @@ pub fn evaluate_with<M: RecModel>(
     batch_size: usize,
     g: &mut Graph,
 ) -> RankingAccumulator {
+    evaluate_source_with(model, &examples, batch_size, g)
+}
+
+/// Evaluate a model over any [`BatchSource`] — owned examples or an
+/// out-of-core store + split plan. Batches (and hence the accumulator) are
+/// bit-identical across sources for the same examples.
+pub fn evaluate_source_with<M: RecModel>(
+    model: &M,
+    source: &dyn BatchSource,
+    batch_size: usize,
+    g: &mut Graph,
+) -> RankingAccumulator {
     let mut acc = RankingAccumulator::new();
-    let batches = make_batches(examples, batch_size, 0);
-    for batch in &batches {
+    source.for_each_batch(batch_size, 0, &mut |batch| {
         g.reset();
         let bind = model.store().bind_all(g);
         let scores = model.eval_scores(g, &bind, batch);
@@ -134,7 +145,7 @@ pub fn evaluate_with<M: RecModel>(
         for rank in rank_rows(sv.data(), v, &batch.targets) {
             acc.push_rank(rank);
         }
-    }
+    });
     acc
 }
 
@@ -186,6 +197,43 @@ pub fn train_with_checkpoints<M: RecModel>(
 pub fn train_with_warm_start<M: RecModel>(
     model: &mut M,
     split: &Split,
+    cfg: &TrainConfig,
+    warm: Option<&TrainState>,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<TrainReport, String> {
+    let (tr, va, te): (&[Example], &[Example], &[Example]) =
+        (&split.train, &split.valid, &split.test);
+    let sources = SourceSplit {
+        train: &tr,
+        valid: &va,
+        test: &te,
+    };
+    train_from_source(model, &sources, cfg, warm, ckpt)
+}
+
+/// A train/valid/test triple of [`BatchSource`]s — the source-agnostic
+/// analogue of [`Split`]. Build one from references to `&[Example]` slices
+/// (in-RAM) or
+/// from [`StoreExamples`](ssdrec_data::StoreExamples) views over a columnar
+/// store + [`SplitPlan`](ssdrec_data::SplitPlan) (out-of-core).
+pub struct SourceSplit<'a> {
+    /// Training examples.
+    pub train: &'a dyn BatchSource,
+    /// Validation examples (early stopping).
+    pub valid: &'a dyn BatchSource,
+    /// Test examples.
+    pub test: &'a dyn BatchSource,
+}
+
+/// [`train_with_warm_start`] over arbitrary [`BatchSource`]s — the entry
+/// point for training straight off a columnar `.ssdc` file with bounded RAM.
+/// For the same underlying examples this is **bit-identical** to the
+/// `Split`-based path: same batch plans, same RNG stream, same checkpoint
+/// bytes (`crates/data/tests/prop_columnar.rs` and the golden-determinism
+/// suite pin this).
+pub fn train_from_source<M: RecModel>(
+    model: &mut M,
+    split: &SourceSplit<'_>,
     cfg: &TrainConfig,
     warm: Option<&TrainState>,
     ckpt: Option<&CheckpointConfig>,
@@ -248,27 +296,26 @@ pub fn train_with_warm_start<M: RecModel>(
         epochs_run = epoch + 1;
         model.on_epoch_start(epoch, cfg.epochs);
         let t0 = Instant::now();
-        let batches = make_batches(
-            &split.train,
-            cfg.batch_size,
-            cfg.seed.wrapping_add(epoch as u64),
-        );
         let mut epoch_loss = 0.0f32;
         let mut nb = 0usize;
-        for batch in &batches {
-            g.reset();
-            let bind = model.store().bind_all(&mut g);
-            let loss = model.loss(&mut g, &bind, batch, &mut rng);
-            let lv = g.value(loss).item();
-            if lv.is_finite() {
-                epoch_loss += lv;
-                nb += 1;
-                g.backward_into(loss, &mut ws);
-                opt.lr = cfg.lr * cfg.lr_schedule.factor(opt.steps() + 1);
-                opt.step(model.store_mut(), &bind, &mut ws);
-            }
-            model.after_step();
-        }
+        split.train.for_each_batch(
+            cfg.batch_size,
+            cfg.seed.wrapping_add(epoch as u64),
+            &mut |batch| {
+                g.reset();
+                let bind = model.store().bind_all(&mut g);
+                let loss = model.loss(&mut g, &bind, batch, &mut rng);
+                let lv = g.value(loss).item();
+                if lv.is_finite() {
+                    epoch_loss += lv;
+                    nb += 1;
+                    g.backward_into(loss, &mut ws);
+                    opt.lr = cfg.lr * cfg.lr_schedule.factor(opt.steps() + 1);
+                    opt.step(model.store_mut(), &bind, &mut ws);
+                }
+                model.after_step();
+            },
+        );
         total_train_secs += t0.elapsed().as_secs_f64();
         final_loss = if nb > 0 {
             epoch_loss / nb as f32
@@ -276,7 +323,7 @@ pub fn train_with_warm_start<M: RecModel>(
             f32::NAN
         };
 
-        let vacc = evaluate_with(model, &split.valid, cfg.batch_size, &mut g);
+        let vacc = evaluate_source_with(model, split.valid, cfg.batch_size, &mut g);
         let hr20 = vacc.hr(20);
         if cfg.verbose {
             eprintln!(
@@ -328,7 +375,7 @@ pub fn train_with_warm_start<M: RecModel>(
     model.store_mut().restore(&best_snapshot);
 
     let t0 = Instant::now();
-    let tacc = evaluate_with(model, &split.test, cfg.batch_size, &mut g);
+    let tacc = evaluate_source_with(model, split.test, cfg.batch_size, &mut g);
     let infer_secs = t0.elapsed().as_secs_f64();
 
     Ok(TrainReport {

@@ -34,7 +34,11 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use ssdrec_data::Interaction;
+use ssdrec_data::{Interaction, SequenceStore};
+
+// CRC-32 (IEEE 802.3) now lives in `ssdrec_data::format` (shared with the
+// columnar dataset file); re-exported here to keep the old API path.
+pub use ssdrec_data::crc32;
 
 /// Log format magic bytes.
 pub const MAGIC: [u8; 4] = *b"SSLG";
@@ -45,29 +49,6 @@ pub const HEADER_LEN: u64 = 28;
 /// Size of one record in bytes (`len` + 16-byte payload + `crc`).
 pub const RECORD_LEN: u64 = 24;
 const PAYLOAD_LEN: u32 = 16;
-
-/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    // Small table built on demand: the log is not the hot path, and a
-    // 256-entry table per call keeps this dependency-free and obvious.
-    let mut table = [0u32; 256];
-    for (i, slot) in table.iter_mut().enumerate() {
-        let mut c = i as u32;
-        for _ in 0..8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-        }
-        *slot = c;
-    }
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    !crc
-}
 
 /// Typed errors for log open/append/replay.
 #[derive(Debug)]
@@ -103,6 +84,20 @@ pub enum LogError {
         /// The log's end offset.
         end: u64,
     },
+    /// A bulk-load source's catalog does not fit inside the log's fixed
+    /// catalog (embedding row `i` must keep meaning item `i` forever, so a
+    /// source with more users/items than the log was created for cannot be
+    /// ingested).
+    CatalogMismatch {
+        /// The log's fixed user count.
+        log_users: usize,
+        /// The log's fixed item count.
+        log_items: usize,
+        /// The source's user count.
+        source_users: usize,
+        /// The source's item count.
+        source_items: usize,
+    },
 }
 
 impl fmt::Display for LogError {
@@ -133,6 +128,16 @@ impl fmt::Display for LogError {
             LogError::BadOffset { offset, end } => write!(
                 f,
                 "offset {offset} is not inside the log (records span {HEADER_LEN}..={end})"
+            ),
+            LogError::CatalogMismatch {
+                log_users,
+                log_items,
+                source_users,
+                source_items,
+            } => write!(
+                f,
+                "source catalog ({source_users} users, {source_items} items) does not fit \
+                 the log catalog ({log_users} users, {log_items} items)"
             ),
         }
     }
@@ -369,6 +374,33 @@ impl StreamLog {
         Ok(self.end)
     }
 
+    /// Append every interaction of a [`SequenceStore`] in user-major order.
+    ///
+    /// The source catalog must *fit inside* the log's fixed catalog
+    /// (`source_users <= log_users && source_items <= log_items`), otherwise
+    /// the whole load is rejected up front with
+    /// [`LogError::CatalogMismatch`] and no bytes are written. Returns the
+    /// number of records appended.
+    pub fn bulk_load(&mut self, store: &dyn SequenceStore) -> Result<u64, LogError> {
+        if store.num_users() > self.header.num_users || store.num_items() > self.header.num_items {
+            return Err(LogError::CatalogMismatch {
+                log_users: self.header.num_users,
+                log_items: self.header.num_items,
+                source_users: store.num_users(),
+                source_items: store.num_items(),
+            });
+        }
+        let before = self.records;
+        let mut seq = Vec::new();
+        for u in 0..store.num_users() {
+            store.read_seq(u, &mut seq);
+            for &item in &seq {
+                self.append(u, item)?;
+            }
+        }
+        Ok(self.records - before)
+    }
+
     /// Flush appended records to stable storage (fault site `stream.sync`).
     pub fn sync(&mut self) -> Result<(), LogError> {
         ssdrec_faults::point("stream.sync")?;
@@ -447,5 +479,83 @@ mod tests {
             num_items: 34,
         };
         assert_eq!(parse_header(&header_bytes(&h)).unwrap(), h);
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssdrec-bulk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        let path = dir.join(format!("{tag}.sslg"));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn toy_dataset(num_users: usize, num_items: usize) -> ssdrec_data::Dataset {
+        ssdrec_data::Dataset {
+            name: "toy".into(),
+            num_users,
+            num_items,
+            sequences: (0..num_users)
+                .map(|u| vec![1 + u % num_items, 1 + (u + 1) % num_items])
+                .collect(),
+            noise_labels: None,
+        }
+    }
+
+    #[test]
+    fn bulk_load_rejects_oversized_catalog() {
+        let mut log = StreamLog::create(
+            scratch("mismatch"),
+            LogHeader {
+                num_users: 2,
+                num_items: 5,
+            },
+        )
+        .unwrap();
+        let ds = toy_dataset(3, 5);
+        match log.bulk_load(&ds) {
+            Err(LogError::CatalogMismatch {
+                log_users: 2,
+                log_items: 5,
+                source_users: 3,
+                source_items: 5,
+            }) => {}
+            other => panic!("expected CatalogMismatch, got {other:?}"),
+        }
+        // Nothing was written: the check happens before any append.
+        assert_eq!(log.records(), 0);
+        assert_eq!(log.end(), HEADER_LEN);
+    }
+
+    #[test]
+    fn bulk_load_matches_flattened_append_all() {
+        let header = LogHeader {
+            num_users: 4,
+            num_items: 6,
+        };
+        let ds = toy_dataset(4, 6);
+
+        let mut bulk = StreamLog::create(scratch("bulk"), header).unwrap();
+        let appended = bulk.bulk_load(&ds).unwrap();
+        bulk.sync().unwrap();
+        assert_eq!(appended, ds.num_actions() as u64);
+
+        let mut manual = StreamLog::create(scratch("manual"), header).unwrap();
+        let events: Vec<(usize, usize)> = ds
+            .sequences
+            .iter()
+            .enumerate()
+            .flat_map(|(u, seq)| seq.iter().map(move |&i| (u, i)))
+            .collect();
+        manual.append_all(events).unwrap();
+        manual.sync().unwrap();
+
+        let a = std::fs::read(bulk.path()).unwrap();
+        let b = std::fs::read(manual.path()).unwrap();
+        assert_eq!(a, b, "bulk load must be byte-identical to manual appends");
+
+        let replayed = replay(bulk.path(), HEADER_LEN, bulk.end()).unwrap();
+        assert_eq!(replayed.len(), ds.num_actions());
+        assert_eq!(replayed[0].user, 0);
+        assert_eq!(replayed[0].item, ds.sequences[0][0]);
     }
 }

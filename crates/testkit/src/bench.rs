@@ -231,6 +231,28 @@ impl Harness {
         &self.results
     }
 
+    /// Peak resident set size of this process in bytes, read from
+    /// `VmHWM` in `/proc/self/status`. Returns 0 where procfs is
+    /// unavailable (non-Linux) so the JSON field is always present.
+    pub fn peak_rss_bytes() -> u64 {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                // Format: "VmHWM:    123456 kB".
+                let kb = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+        0
+    }
+
     /// Render the JSON report (hand-rolled: ids contain no characters that
     /// need escaping beyond quotes/backslashes, but escape them anyway).
     pub fn to_json(&self) -> String {
@@ -241,6 +263,10 @@ impl Harness {
         out.push_str(&format!("  \"pool_hits\": {ph},\n"));
         out.push_str(&format!("  \"pool_misses\": {pm},\n"));
         out.push_str(&format!("  \"bytes_recycled\": {pb},\n"));
+        out.push_str(&format!(
+            "  \"peak_rss_bytes\": {},\n",
+            Harness::peak_rss_bytes()
+        ));
         out.push_str("  \"benchmarks\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -378,6 +404,17 @@ mod tests {
         assert!(json.contains("\"pool_hits\": 12,"));
         assert!(json.contains("\"pool_misses\": 3,"));
         assert!(json.contains("\"bytes_recycled\": 4096,"));
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_in_json() {
+        let rss = Harness::peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+        let mut h = Harness::with_config("unit_rss", fast_cfg());
+        h.bench("a", || 1 + 1);
+        assert!(h.to_json().contains("\"peak_rss_bytes\": "));
     }
 
     #[test]

@@ -37,6 +37,10 @@
 #  15. bench_stream smoke: the online-loop harness (ingest throughput,
 #      delta-retrain wall-clock, swap pause p99) runs in fast mode and
 #      BENCH_stream.json parses with its telemetry fields present.
+#  16. Out-of-core smoke: gen-data writes a columnar .ssdc file, `train
+#      --data` runs off it in windowed and ram modes with byte-identical
+#      metric lines, ingest bulk-loads it into a log, and bench_data runs
+#      in fast mode with a valid BENCH_data.json.
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
 # registry fails the build immediately.
@@ -437,5 +441,51 @@ fi
 # leaves the tree clean.
 git checkout -- BENCH_stream.json 2>/dev/null || true
 echo "ok: BENCH_stream.json written and valid"
+
+echo "== out-of-core smoke (gen-data → train --data windowed/ram → ingest --data) =="
+OOC_DIR=target/ssdrec-smoke/ooc
+rm -rf "$OOC_DIR"
+mkdir -p "$OOC_DIR"
+OOC_FILE="$OOC_DIR/smoke.ssdc"
+./target/release/ssdrec gen-data --profile beauty --scale 0.1 --seed 7 \
+    --out "$OOC_FILE" >/dev/null
+test -f "$OOC_FILE"
+# The same columnar file trained windowed and fully-decoded must emit
+# byte-identical metric lines: the bounded-RAM path is not allowed to cost
+# a single bit of output.
+./target/release/ssdrec train --data "$OOC_FILE" --data-mode windowed \
+    --epochs 1 --dim 8 --seed 7 \
+    | grep -E '^(data|valid|test)' >"$OOC_DIR/metrics_windowed.txt"
+./target/release/ssdrec train --data "$OOC_FILE" --data-mode ram \
+    --epochs 1 --dim 8 --seed 7 \
+    | grep -E '^(data|valid|test)' >"$OOC_DIR/metrics_ram.txt"
+if ! diff -u "$OOC_DIR/metrics_windowed.txt" "$OOC_DIR/metrics_ram.txt"; then
+    echo "out-of-core smoke FAILED: windowed and ram metrics differ"
+    exit 1
+fi
+# Bulk-load the columnar file into a fresh log; the record count must
+# match the file's interaction count.
+./target/release/ssdrec ingest --log "$OOC_DIR/events.sslg" --data "$OOC_FILE" \
+    >"$OOC_DIR/ingest.txt"
+grep -q '^created' "$OOC_DIR/ingest.txt"
+echo "ok: windowed and ram metrics byte-identical; columnar bulk-load ingested"
+
+echo "== bench_data out-of-core pipeline smoke =="
+SSDREC_BENCH_FAST=1 cargo run --release -q -p ssdrec-bench --bin bench_data >/dev/null
+test -f BENCH_data.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+r = json.load(open("BENCH_data.json"))
+assert r["interactions"] > 0 and r["file_bytes"] > 0
+assert r["encode_interactions_per_sec"] > 0 and r["scan_interactions_per_sec"] > 0
+assert r["graph_edges"] > 0 and r["graph_interactions_per_sec"] > 0
+assert r["peak_rss_bytes"] >= 0 and r["rss_budget_bytes"] > 0
+'
+fi
+# The smoke overwrote the committed full-mode report; restore it so CI
+# leaves the tree clean.
+git checkout -- BENCH_data.json 2>/dev/null || true
+echo "ok: BENCH_data.json written and valid"
 
 echo "CI: all checks passed"

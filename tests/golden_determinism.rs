@@ -9,9 +9,11 @@
 //! golden values together with a CHANGES.md note.
 
 use ssdrec::core::{SsdRec, SsdRecConfig};
-use ssdrec::data::{prepare, SyntheticConfig};
-use ssdrec::graph::{build_graph, GraphConfig};
-use ssdrec::models::{train, TrainConfig};
+use ssdrec::data::{
+    encode_dataset, plan_leave_one_out, prepare, ColumnarReader, StoreExamples, SyntheticConfig,
+};
+use ssdrec::graph::{build_graph, build_graph_from_store, GraphConfig};
+use ssdrec::models::{train, train_from_source, SourceSplit, TrainConfig};
 
 const GOLDEN_HR10: f64 = 0.6071428571428571;
 const GOLDEN_NDCG10: f64 = 0.3714333486875927;
@@ -49,4 +51,65 @@ fn fixed_seed_two_epochs_reproduces_golden_metrics() {
         report.test.ndcg10, GOLDEN_NDCG10,
         "NDCG@10 drifted from the golden value — the RNG stream or pipeline changed"
     );
+}
+
+/// The out-of-core path — encode the prepared dataset to a columnar file,
+/// re-plan the split over the windowed reader, build the graph in counting
+/// passes, train through [`StoreExamples`] — must land on the *same* golden
+/// HR@10 / NDCG@10 as the in-RAM path above: not approximately, exactly.
+#[test]
+fn columnar_store_training_reproduces_golden_metrics() {
+    let raw = SyntheticConfig::sports()
+        .scaled(0.08)
+        .with_seed(7)
+        .generate();
+    // `prepare` already 5-core-filters and truncates to max_len; the file
+    // holds exactly what the in-RAM pipeline trains on.
+    let (dataset, _) = prepare(&raw, 50, 2);
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("golden");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("sports.ssdc");
+    encode_dataset(&dataset, &path).expect("encode");
+    let reader = ColumnarReader::open(&path).expect("open");
+
+    let plan = plan_leave_one_out(&reader, 5, 2);
+    let graph = build_graph_from_store(&reader, &GraphConfig::default());
+    let cfg = SsdRecConfig {
+        dim: 8,
+        max_len: 50,
+        seed: 7,
+        ..SsdRecConfig::default()
+    };
+    let mut model = SsdRec::new(&graph, cfg);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+    let sources = SourceSplit {
+        train: &StoreExamples {
+            store: &reader,
+            refs: &plan.train,
+        },
+        valid: &StoreExamples {
+            store: &reader,
+            refs: &plan.valid,
+        },
+        test: &StoreExamples {
+            store: &reader,
+            refs: &plan.test,
+        },
+    };
+    let report = train_from_source(&mut model, &sources, &tc, None, None).expect("train");
+
+    assert_eq!(
+        report.test.hr10, GOLDEN_HR10,
+        "columnar-store training drifted from the golden HR@10"
+    );
+    assert_eq!(
+        report.test.ndcg10, GOLDEN_NDCG10,
+        "columnar-store training drifted from the golden NDCG@10"
+    );
+    let _ = std::fs::remove_file(path);
 }
