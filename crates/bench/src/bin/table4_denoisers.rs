@@ -1,12 +1,16 @@
 //! Table IV: SSDRec vs the state-of-the-art denoising / debiased methods
-//! (DSAN, FMLP-Rec, HSD, DCRec, STEAM) on every dataset, plus the relative
-//! improvement over the strongest baseline and a two-sided t-test on the
-//! per-user HR@20 indicators.
+//! (DSAN, FMLP-Rec, HSD, DCRec, STEAM, plus the post-paper CL4SRec and
+//! MGSD-WSS rows) on every dataset, with the relative improvement over the
+//! strongest baseline and a two-sided t-test on the per-user HR@20
+//! indicators.
 //!
 //! Usage:
 //! `cargo run --release -p ssdrec-bench --bin table4_denoisers \
-//!     [--full] [--datasets beauty]`
-
+//!     [--full | --fast] [--datasets beauty]`
+//!
+//! `--fast` is the CI smoke: two epochs at a tiny scale on one dataset
+//! (unless `--datasets` overrides), emitting a machine-checkable JSON
+//! report to `results/table4_fast.json` with one row per method.
 use ssdrec_bench::{
     datasets_from_args, metric_csv, metric_header, metric_row, prepare_profile, run_denoiser,
     run_ssdrec, write_results, DenoiserKind, HarnessConfig,
@@ -16,10 +20,22 @@ use ssdrec_models::BackboneKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
     let h = HarnessConfig::from_args(&args);
-    let datasets = datasets_from_args(&args);
+    let datasets = if fast && !args.iter().any(|a| a == "--datasets") {
+        vec!["sports".to_string()]
+    } else {
+        datasets_from_args(&args)
+    };
 
     let mut csv = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut push_json = |ds: &str, name: &str, m: &ssdrec_metrics::MetricReport| {
+        json_rows.push(format!(
+            "{{\"dataset\":\"{ds}\",\"model\":\"{name}\",\"hr10\":{:.6},\"hr20\":{:.6},\"ndcg10\":{:.6}}}",
+            m.hr10, m.hr20, m.ndcg10
+        ));
+    };
     for ds in &datasets {
         let prep = prepare_profile(ds, &h);
         println!("\n=== Table IV — {ds} ===");
@@ -30,6 +46,7 @@ fn main() {
             let report = run_denoiser(kind, &prep, &h);
             println!("{}", metric_row(kind.name(), &report.test));
             csv.push(metric_csv(ds, kind.name(), &report.test));
+            push_json(ds, kind.name(), &report.test);
             let better = match &best_baseline {
                 None => true,
                 Some((_, b)) => report.test.hr20 > b.test.hr20,
@@ -42,6 +59,7 @@ fn main() {
         let (_model, ssdrec) = run_ssdrec(BackboneKind::SasRec, (true, true, true), &prep, &h, 1.0);
         println!("{}", metric_row("SSDRec", &ssdrec.test));
         csv.push(metric_csv(ds, "SSDRec", &ssdrec.test));
+        push_json(ds, "SSDRec", &ssdrec.test);
 
         if let Some((bname, best)) = best_baseline {
             let imp = ssdrec.test.improvement_over(&best.test);
@@ -72,4 +90,9 @@ fn main() {
         "dataset,model,hr5,hr10,hr20,ndcg5,ndcg10,ndcg20,mrr20",
         &csv,
     );
+    if fast {
+        let json = format!("[\n{}\n]", json_rows.join(",\n"));
+        write_results("table4_fast.json", &json, &[]);
+        println!("{json}");
+    }
 }

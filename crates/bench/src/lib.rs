@@ -10,10 +10,12 @@ use std::time::Instant;
 
 use ssdrec_core::{SsdRec, SsdRecConfig};
 use ssdrec_data::{prepare, Dataset, Split, SyntheticConfig};
-use ssdrec_denoise::{DcRec, Dsan, FmlpRec, Hsd, Steam};
+use ssdrec_denoise::{DcRec, Dsan, FmlpRec, Hsd, Mgsd, Steam};
 use ssdrec_graph::{build_graph, GraphConfig, MultiRelationGraph};
 use ssdrec_metrics::MetricReport;
-use ssdrec_models::{train, BackboneKind, RecModel, SeqRec, TrainConfig, TrainReport};
+use ssdrec_models::{
+    train, BackboneKind, ContrastiveSeqRec, RecModel, SeqRec, TrainConfig, TrainReport,
+};
 
 /// Experiment-scale knobs shared by all harness binaries.
 #[derive(Clone, Debug)]
@@ -61,10 +63,27 @@ impl HarnessConfig {
         }
     }
 
-    /// Parse `--full` / `--quick` from CLI args (quick is the default).
+    /// Fast smoke mode: two epochs at a tiny scale — small enough for CI
+    /// to validate a whole table end-to-end in seconds.
+    pub fn fast() -> Self {
+        HarnessConfig {
+            scale: 0.08,
+            epochs: 2,
+            batch_size: 32,
+            dim: 8,
+            patience: 10,
+            max_train_prefixes: 2,
+            seed: 7,
+        }
+    }
+
+    /// Parse `--full` / `--fast` / `--quick` from CLI args (quick is the
+    /// default).
     pub fn from_args(args: &[String]) -> Self {
         if args.iter().any(|a| a == "--full") {
             Self::standard()
+        } else if args.iter().any(|a| a == "--fast") {
+            Self::fast()
         } else {
             Self::quick()
         }
@@ -176,17 +195,24 @@ pub enum DenoiserKind {
     DcRec,
     /// STEAM [29].
     Steam,
+    /// CL4SRec-style contrastive self-supervision (2022 line).
+    Cl4s,
+    /// MGSD-WSS multi-granularity weakly-supervised denoising (2025 line).
+    Mgsd,
 }
 
 impl DenoiserKind {
-    /// All baselines in the paper's Table IV order.
-    pub fn all() -> [DenoiserKind; 5] {
+    /// All baselines in the paper's Table IV order, extended with the
+    /// post-paper methods (CL4SRec, MGSD-WSS).
+    pub fn all() -> [DenoiserKind; 7] {
         [
             DenoiserKind::Dsan,
             DenoiserKind::Fmlp,
             DenoiserKind::Hsd,
             DenoiserKind::DcRec,
             DenoiserKind::Steam,
+            DenoiserKind::Cl4s,
+            DenoiserKind::Mgsd,
         ]
     }
 
@@ -198,6 +224,8 @@ impl DenoiserKind {
             DenoiserKind::Hsd => "HSD",
             DenoiserKind::DcRec => "DCRec",
             DenoiserKind::Steam => "STEAM",
+            DenoiserKind::Cl4s => "CL4SRec",
+            DenoiserKind::Mgsd => "MGSD-WSS",
         }
     }
 }
@@ -227,6 +255,15 @@ pub fn run_denoiser(kind: DenoiserKind, prep: &Prepared, h: &HarnessConfig) -> T
         }
         DenoiserKind::Steam => {
             let mut m = Steam::new(ni, h.dim, prep.max_len, h.seed);
+            train(&mut m, &prep.split, &tc)
+        }
+        DenoiserKind::Cl4s => {
+            let mut m =
+                ContrastiveSeqRec::new(BackboneKind::SasRec, ni, h.dim, prep.max_len, h.seed);
+            train(&mut m, &prep.split, &tc)
+        }
+        DenoiserKind::Mgsd => {
+            let mut m = Mgsd::new(nu, ni, h.dim, prep.max_len, h.seed);
             train(&mut m, &prep.split, &tc)
         }
     }

@@ -4,7 +4,8 @@
 //! ssdrec stats     [--profile NAME | --file PATH --format movielens|csv] [--scale F]
 //! ssdrec train     [--profile NAME | --file PATH --format F] [--backbone B] [--dim D]
 //!                  [--epochs E] [--batch-size B] [--max-len L] [--seed S]
-//!                  [--baseline] [--out CKPT] [--verbose]
+//!                  [--baseline | --contrastive | --mgsd] [--out CKPT] [--verbose]
+//!                  [--cl-weight W] [--cl-tau T] [--aug-rate R]
 //!                  [--state PATH [--resume] [--checkpoint-every N]]
 //! ssdrec recommend --model CKPT --user U [--k K] (same data/arch flags as train)
 //! ssdrec denoise   (same data/arch flags as train) [--user U]
@@ -51,11 +52,11 @@ use ssdrec_data::{
     ColumnarReader, Dataset, LoadOptions, SequenceStore, Split, StoreExamples, SyntheticConfig,
     TruncatedStore,
 };
-use ssdrec_denoise::Denoiser;
+use ssdrec_denoise::{Denoiser, Mgsd};
 use ssdrec_graph::{build_graph, build_graph_from_store, GraphConfig, MultiRelationGraph};
 use ssdrec_models::{
-    train, train_from_source, train_with_checkpoints, BackboneKind, CheckpointConfig, RecModel,
-    SeqRec, SourceSplit, TrainConfig,
+    train, train_from_source, train_with_checkpoints, BackboneKind, CheckpointConfig,
+    ContrastiveSeqRec, RecModel, SeqRec, SourceSplit, TrainConfig,
 };
 use ssdrec_serve::{
     Engine, EngineConfig, EngineSlot, InferenceModel, LoadedModel, ModelLoader, RetrievalConfig,
@@ -79,6 +80,12 @@ fn usage() -> &'static str {
      --backbone SASRec|GRU4Rec|NARM|STAMP|Caser|BERT4Rec (default SASRec)\n\
      --dim D --epochs E --batch-size B --max-len L --seed S\n\
      --baseline      train the bare backbone (no SSDRec wrapper)\n\
+     --contrastive   train the CL4SRec-style contrastive scenario on the\n\
+                     backbone (crop/reorder/mask views + InfoNCE)\n\
+     --cl-weight W --cl-tau T --aug-rate R   contrastive knobs\n\
+                     (defaults 0.1 / 0.5 / 0.4; only with --contrastive)\n\
+     --mgsd          train the MGSD-WSS multi-granularity denoiser\n\
+                     (weakly supervised by noise labels when present)\n\
      --out CKPT      write a checkpoint after training\n\
      --model CKPT    checkpoint to load (recommend, serve)\n\
      --user U --k K  serving target (recommend)\n\
@@ -275,6 +282,66 @@ fn checkpoint_config(a: &Args) -> Result<Option<CheckpointConfig>, String> {
     }))
 }
 
+/// Which training scenario `train` runs: the SSDRec wrapper (default), the
+/// bare backbone (`--baseline`), the contrastive head (`--contrastive`), or
+/// the multi-granularity denoiser (`--mgsd`).
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum TrainScenario {
+    SsdRec,
+    Baseline,
+    Contrastive,
+    Mgsd,
+}
+
+fn train_scenario(a: &Args) -> Result<TrainScenario, String> {
+    let picked = [
+        (a.has_flag("baseline"), TrainScenario::Baseline),
+        (a.has_flag("contrastive"), TrainScenario::Contrastive),
+        (a.has_flag("mgsd"), TrainScenario::Mgsd),
+    ];
+    let mut chosen = TrainScenario::SsdRec;
+    let mut count = 0;
+    for (on, s) in picked {
+        if on {
+            chosen = s;
+            count += 1;
+        }
+    }
+    if count > 1 {
+        return Err("--baseline, --contrastive and --mgsd are mutually exclusive".into());
+    }
+    Ok(chosen)
+}
+
+/// Build the contrastive scenario from `--cl-weight` / `--cl-tau` /
+/// `--aug-rate` (all optional; workspace defaults otherwise).
+fn build_contrastive(
+    a: &Args,
+    num_items: usize,
+    max_len: usize,
+) -> Result<ContrastiveSeqRec, String> {
+    let mut m = ContrastiveSeqRec::new(
+        backbone(a)?,
+        num_items,
+        a.get_parse("dim", 16)?,
+        max_len,
+        a.get_parse("seed", 7)?,
+    );
+    m.cl_weight = a.get_parse("cl-weight", ssdrec_models::DEFAULT_CL_WEIGHT)?;
+    m.cl_tau = a.get_parse("cl-tau", ssdrec_models::DEFAULT_CL_TAU)?;
+    m.aug_rate = a.get_parse("aug-rate", ssdrec_models::DEFAULT_AUG_RATE)?;
+    if m.cl_weight < 0.0 {
+        return Err("--cl-weight must be ≥ 0".into());
+    }
+    if m.cl_tau <= 0.0 {
+        return Err("--cl-tau must be > 0".into());
+    }
+    if !(0.0..=1.0).contains(&m.aug_rate) {
+        return Err("--aug-rate must be in [0, 1]".into());
+    }
+    Ok(m)
+}
+
 fn cmd_train(a: &Args) -> Result<(), String> {
     if let Some(data) = a.get("data") {
         if a.get("file").is_some() || a.get("profile").is_some() {
@@ -304,20 +371,39 @@ fn cmd_train(a: &Args) -> Result<(), String> {
             c.every.max(1)
         );
     }
-    let (name, test, store_snapshot) = if a.has_flag("baseline") {
-        let mut model = SeqRec::new(
-            backbone(a)?,
-            prep.dataset.num_items,
-            a.get_parse("dim", 16)?,
-            prep.max_len,
-            a.get_parse("seed", 7)?,
-        );
-        let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
-        (model.model_name(), report, model.store)
-    } else {
-        let mut model = build_ssdrec(a, &prep)?;
-        let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
-        (model.model_name(), report, model.store)
+    let (name, test, store_snapshot) = match train_scenario(a)? {
+        TrainScenario::Baseline => {
+            let mut model = SeqRec::new(
+                backbone(a)?,
+                prep.dataset.num_items,
+                a.get_parse("dim", 16)?,
+                prep.max_len,
+                a.get_parse("seed", 7)?,
+            );
+            let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
+            (model.model_name(), report, model.store)
+        }
+        TrainScenario::Contrastive => {
+            let mut model = build_contrastive(a, prep.dataset.num_items, prep.max_len)?;
+            let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
+            (model.model_name(), report, model.base.store)
+        }
+        TrainScenario::Mgsd => {
+            let mut model = Mgsd::new(
+                prep.dataset.num_users,
+                prep.dataset.num_items,
+                a.get_parse("dim", 16)?,
+                prep.max_len,
+                a.get_parse("seed", 7)?,
+            );
+            let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
+            (model.model_name(), report, model.store)
+        }
+        TrainScenario::SsdRec => {
+            let mut model = build_ssdrec(a, &prep)?;
+            let report = train_with_checkpoints(&mut model, &prep.split, &tc, ckpt.as_ref())?;
+            (model.model_name(), report, model.store)
+        }
     };
     println!("model : {name}");
     println!("epochs: {}", test.epochs_run);
@@ -391,27 +477,46 @@ fn cmd_train_data(a: &Args, data: &str) -> Result<(), String> {
         valid: &va,
         test: &te,
     };
-    let (name, report, store_snapshot) = if a.has_flag("baseline") {
-        let mut model = SeqRec::new(
-            backbone(a)?,
-            store.num_items(),
-            a.get_parse("dim", 16)?,
-            max_len,
-            a.get_parse("seed", 7)?,
-        );
-        let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
-        (model.model_name(), report, model.store)
-    } else {
-        let cfg = SsdRecConfig {
-            dim: a.get_parse("dim", 16)?,
-            max_len,
-            backbone: backbone(a)?,
-            seed: a.get_parse("seed", 7)?,
-            ..SsdRecConfig::default()
-        };
-        let mut model = SsdRec::new(&graph, cfg);
-        let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
-        (model.model_name(), report, model.store)
+    let (name, report, store_snapshot) = match train_scenario(a)? {
+        TrainScenario::Baseline => {
+            let mut model = SeqRec::new(
+                backbone(a)?,
+                store.num_items(),
+                a.get_parse("dim", 16)?,
+                max_len,
+                a.get_parse("seed", 7)?,
+            );
+            let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
+            (model.model_name(), report, model.store)
+        }
+        TrainScenario::Contrastive => {
+            let mut model = build_contrastive(a, store.num_items(), max_len)?;
+            let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
+            (model.model_name(), report, model.base.store)
+        }
+        TrainScenario::Mgsd => {
+            let mut model = Mgsd::new(
+                store.num_users(),
+                store.num_items(),
+                a.get_parse("dim", 16)?,
+                max_len,
+                a.get_parse("seed", 7)?,
+            );
+            let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
+            (model.model_name(), report, model.store)
+        }
+        TrainScenario::SsdRec => {
+            let cfg = SsdRecConfig {
+                dim: a.get_parse("dim", 16)?,
+                max_len,
+                backbone: backbone(a)?,
+                seed: a.get_parse("seed", 7)?,
+                ..SsdRecConfig::default()
+            };
+            let mut model = SsdRec::new(&graph, cfg);
+            let report = train_from_source(&mut model, &sources, &tc, None, ckpt.as_ref())?;
+            (model.model_name(), report, model.store)
+        }
     };
     println!("model : {name}");
     println!("epochs: {}", report.epochs_run);

@@ -2,8 +2,10 @@
 //!
 //! The five denoising / debiasing baselines the paper compares against
 //! (Table IV): FMLP-Rec (implicit), DSAN, HSD, STEAM (explicit), and DCRec
-//! (debiased contrastive). All implement the shared
-//! [`RecModel`](ssdrec_models::RecModel) trainer interface plus the
+//! (debiased contrastive) — plus the post-paper [`Mgsd`] (MGSD-WSS), a
+//! multi-granularity denoiser whose gate is weakly supervised by the
+//! synthetic generator's noise labels (DESIGN.md §15). All implement the
+//! shared [`RecModel`](ssdrec_models::RecModel) trainer interface plus the
 //! [`Denoiser`] trait, which exposes keep/drop decisions for the Fig. 1 OUP
 //! experiment.
 
@@ -13,12 +15,14 @@ pub mod dcrec;
 pub mod dsan;
 pub mod fmlp;
 pub mod hsd;
+pub mod mgsd;
 pub mod steam;
 
 pub use dcrec::DcRec;
 pub use dsan::Dsan;
 pub use fmlp::FmlpRec;
 pub use hsd::{Hsd, HsdCore};
+pub use mgsd::Mgsd;
 pub use steam::Steam;
 
 /// A model that makes (or declines to make) explicit keep/drop decisions

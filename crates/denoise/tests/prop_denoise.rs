@@ -3,7 +3,7 @@
 
 use ssdrec_testkit::{gens, property};
 
-use ssdrec_denoise::{relative_keep, Denoiser, FmlpRec, RELATIVE_KEEP_BETA};
+use ssdrec_denoise::{relative_keep, Denoiser, FmlpRec, Mgsd, RELATIVE_KEEP_BETA};
 
 property! {
     cases = 64;
@@ -82,5 +82,41 @@ property! {
         assert_eq!(kept.len(), seq.len());
         assert!(kept.iter().all(|&k| k));
         assert!(model.keep_scores(&seq, user).iter().all(|&s| s == 1.0));
+    }
+
+    /// The multi-granularity denoiser yields one finite keep probability in
+    /// (0, 1] per position (a product of two sigmoids), one decision per
+    /// position, and maps the empty sequence to empty outputs.
+    fn mgsd_scores_are_positional_probabilities(
+        seq in gens::vecs(gens::usizes(1, 12), 0, 9),
+        user in gens::usizes(0, 4),
+        seed in gens::u64s(),
+    ) {
+        let model = Mgsd::new(5, 12, 4, 10, seed);
+        let scores = model.keep_scores(&seq, user);
+        assert_eq!(scores.len(), seq.len());
+        assert!(scores.iter().all(|s| s.is_finite() && *s > 0.0 && *s <= 1.0));
+        let kept = model.keep_decisions(&seq, user);
+        assert_eq!(kept.len(), seq.len());
+    }
+
+    /// Segment-level attenuation is shared within a segment, so scores can
+    /// only differ across positions through the item-level head — and the
+    /// relative-keep rule always preserves the argmax position.
+    fn mgsd_never_drops_best_position(
+        seq in gens::vecs(gens::usizes(1, 12), 1, 9),
+        user in gens::usizes(0, 4),
+        seed in gens::u64s(),
+    ) {
+        let model = Mgsd::new(5, 12, 4, 10, seed);
+        let scores = model.keep_scores(&seq, user);
+        let kept = model.keep_decisions(&seq, user);
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(kept[argmax]);
     }
 }

@@ -41,6 +41,12 @@
 #      --data` runs off it in windowed and ram modes with byte-identical
 #      metric lines, ingest bulk-loads it into a log, and bench_data runs
 #      in fast mode with a valid BENCH_data.json.
+#  17. Training-scenario smoke: `train --contrastive` and `train --mgsd`
+#      each run two epochs and must emit byte-identical metric lines at
+#      SSDREC_THREADS=1 and --threads 4.
+#  18. table4 --fast smoke: the denoiser table runs every method in fast
+#      mode and results/table4_fast.json parses with one row per method,
+#      including the CL4SRec and MGSD-WSS rows.
 #
 # Everything runs with CARGO_NET_OFFLINE=true: any attempt to reach the
 # registry fails the build immediately.
@@ -487,5 +493,43 @@ fi
 # leaves the tree clean.
 git checkout -- BENCH_data.json 2>/dev/null || true
 echo "ok: BENCH_data.json written and valid"
+
+echo "== training-scenario smoke (--contrastive / --mgsd at 1 vs 4 threads) =="
+SC_DIR=target/ssdrec-smoke/scenarios
+mkdir -p "$SC_DIR"
+for sc in contrastive mgsd; do
+    SSDREC_THREADS=1 ./target/release/ssdrec train $SMOKE_FLAGS --epochs 2 --$sc \
+        | grep -E '^(valid|test)' >"$SC_DIR/metrics_${sc}_t1.txt"
+    ./target/release/ssdrec train $SMOKE_FLAGS --epochs 2 --$sc --threads 4 \
+        | grep -E '^(valid|test)' >"$SC_DIR/metrics_${sc}_t4.txt"
+    if ! diff -u "$SC_DIR/metrics_${sc}_t1.txt" "$SC_DIR/metrics_${sc}_t4.txt"; then
+        echo "scenario smoke FAILED: --$sc metrics differ between 1 and 4 threads"
+        exit 1
+    fi
+done
+echo "ok: --contrastive and --mgsd metrics byte-identical at 1 and 4 threads"
+
+echo "== table4 --fast JSON smoke (CL4SRec + MGSD-WSS rows) =="
+rm -f results/table4_fast.json
+cargo run --release -q -p ssdrec-bench --bin table4_denoisers -- --fast >/dev/null
+test -f results/table4_fast.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+rows = json.load(open("results/table4_fast.json"))
+assert len(rows) == 8, f"expected 8 rows, got {len(rows)}"
+models = [r["model"] for r in rows]
+for want in ("DSAN", "FMLP-Rec", "HSD", "DCRec", "STEAM", "CL4SRec", "MGSD-WSS", "SSDRec"):
+    assert want in models, f"missing row {want}"
+for r in rows:
+    assert r["dataset"], r
+    for k in ("hr10", "hr20", "ndcg10"):
+        assert 0.0 <= r[k] <= 1.0, r
+'
+fi
+# The fast run wrote scratch reports into results/; drop them so CI leaves
+# the tree clean (the directory is not under version control).
+rm -f results/table4_fast.json results/table4_denoisers.csv
+echo "ok: table4_fast.json has one valid row per method, new rows included"
 
 echo "CI: all checks passed"

@@ -1,11 +1,12 @@
-//! Integration tests for the five denoising baselines: each must train
-//! through the shared trainer, emit valid keep decisions, and honour its
-//! implicit/explicit nature.
+//! Integration tests for the denoising baselines: each must train through
+//! the shared trainer, emit valid keep decisions, and honour its
+//! implicit/explicit nature. The weak-supervision test at the bottom pins
+//! how much of the generator's injected noise MGSD-WSS must recover.
 
 use ssdrec::data::{inject_unobserved, prepare, SyntheticConfig};
-use ssdrec::denoise::{DcRec, Denoiser, Dsan, FmlpRec, Hsd, Steam};
+use ssdrec::denoise::{DcRec, Denoiser, Dsan, FmlpRec, Hsd, Mgsd, Steam};
 use ssdrec::metrics::OupAccumulator;
-use ssdrec::models::{train, RecModel, TrainConfig};
+use ssdrec::models::{train, BackboneKind, ContrastiveSeqRec, RecModel, TrainConfig};
 
 fn tiny_split() -> (ssdrec::data::Dataset, ssdrec::data::Split) {
     let raw = SyntheticConfig::sports()
@@ -108,6 +109,99 @@ fn oup_measurement_pipeline_runs() {
     assert!(acc.total() > 0, "no labelled positions measured");
     assert!((0.0..=1.0).contains(&acc.under_denoising_ratio()));
     assert!((0.0..=1.0).contains(&acc.over_denoising_ratio()));
+}
+
+#[test]
+fn new_methods_train_without_divergence() {
+    let (ds, split) = tiny_split();
+
+    let mut cl = ContrastiveSeqRec::new(BackboneKind::SasRec, ds.num_items, 8, 50, 0);
+    assert!(train(&mut cl, &split, &tc()).final_loss.is_finite());
+
+    let mut mgsd = Mgsd::new(ds.num_users, ds.num_items, 8, 50, 0);
+    assert!(train(&mut mgsd, &split, &tc()).final_loss.is_finite());
+}
+
+/// MGSD-WSS's weak supervision must actually *recover* the generator's
+/// injected noise, not merely produce well-formed decisions. Two claims are
+/// pinned on the noise-labelled profile:
+///
+/// 1. **Scores order noise below clean** — at the noise-budget operating
+///    point (per sequence, flag the `k` lowest keep scores where `k` is the
+///    true injected count, so precision = recall by construction) the model
+///    must beat the noise base rate by a clear margin. Measured: 0.343
+///    against a 0.174 base rate (~2× better than guessing); pinned
+///    conservatively at 0.25 so float drift across platforms cannot flip
+///    the test while a gate that ignores its labels still fails loudly.
+/// 2. **The hard relative-keep rule stays conservative** — like HSD in the
+///    Fig. 1 table, the workspace's relative rule drops (almost) nothing at
+///    this scale, so over-denoising must stay ≈ 0. This is the OUP row
+///    pinned in EXPERIMENTS.md.
+#[test]
+fn mgsd_weak_supervision_recovers_injected_noise() {
+    let raw = SyntheticConfig::beauty()
+        .scaled(0.12)
+        .with_noise_ratio(0.0)
+        .with_seed(9)
+        .generate();
+    let noisy = inject_unobserved(&raw, 40, 2, 9);
+    let (ds, split) = prepare(&noisy, 50, 2);
+    let mut mgsd = Mgsd::new(ds.num_users, ds.num_items, 8, 50, 2);
+    mgsd.ws_weight = 4.0;
+    let tc = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    train(&mut mgsd, &split, &tc);
+
+    let (mut tp, mut flagged) = (0usize, 0usize);
+    let mut labelled = 0usize;
+    let mut noisy_positions = 0usize;
+    let mut acc = OupAccumulator::new();
+    for ex in &split.test {
+        let Some(noise) = &ex.noise else { continue };
+        if ex.seq.is_empty() {
+            continue;
+        }
+        let scores = mgsd.keep_scores(&ex.seq, ex.user);
+        acc.push(noise, &mgsd.keep_decisions(&ex.seq, ex.user));
+        labelled += noise.len();
+        let k = noise.iter().filter(|&&n| n).count();
+        noisy_positions += k;
+        if k == 0 {
+            continue;
+        }
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+        flagged += k;
+        tp += idx[..k].iter().filter(|&&i| noise[i]).count();
+    }
+    assert!(
+        labelled > 0 && noisy_positions > 0,
+        "no labelled noise measured"
+    );
+    let precision = tp as f64 / flagged as f64; // = recall at this budget
+    let base_rate = noisy_positions as f64 / labelled as f64;
+    println!(
+        "mgsd noise recovery: precision@budget={precision:.4} \
+         base_rate={base_rate:.4} under={:.4} over={:.4}",
+        acc.under_denoising_ratio(),
+        acc.over_denoising_ratio()
+    );
+    assert!(
+        precision >= 0.25,
+        "precision@budget {precision:.4} below pin 0.25"
+    );
+    assert!(
+        precision >= 1.3 * base_rate,
+        "precision@budget {precision:.4} not clearly above base rate {base_rate:.4}"
+    );
+    assert!(
+        acc.over_denoising_ratio() <= 0.05,
+        "relative-keep rule over-denoises: {:.4}",
+        acc.over_denoising_ratio()
+    );
 }
 
 #[test]

@@ -21,9 +21,12 @@ use std::sync::Mutex;
 
 use ssdrec::core::{SsdRec, SsdRecConfig};
 use ssdrec::data::{prepare, SyntheticConfig};
+use ssdrec::denoise::Mgsd;
 use ssdrec::graph::{build_graph, GraphConfig};
 use ssdrec::metrics::{full_rank, par_top_k, rank_rows, top_k};
-use ssdrec::models::{evaluate, train, BackboneKind, RecModel, SeqRec, TrainConfig};
+use ssdrec::models::{
+    evaluate, train, BackboneKind, ContrastiveSeqRec, RecModel, SeqRec, TrainConfig,
+};
 use ssdrec::serve::{Engine, EngineConfig, ServerStats};
 use ssdrec::tensor::kernels::{matmul, matmul_backward, scatter_rows};
 use ssdrec::tensor::{pool, save_params, with_each_backend, Tensor};
@@ -296,6 +299,103 @@ fn pooled_and_fresh_training_are_bit_identical() {
             }
         }
     });
+    pool::set_enabled(was);
+    ssdrec::runtime::set_threads(1);
+}
+
+/// Train `model` on the tiny sports world and fingerprint everything
+/// observable — final-loss bits, HR@10/NDCG@10 bits, checkpoint bytes.
+fn model_fingerprint<M: RecModel>(mut model: M, tag: &str) -> (u32, u64, u64, Vec<u8>) {
+    let raw = SyntheticConfig::sports()
+        .scaled(0.03)
+        .with_seed(7)
+        .generate();
+    let (_dataset, split) = prepare(&raw, 50, 2);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        seed: 7,
+        ..TrainConfig::default()
+    };
+    let report = train(&mut model, &split, &tc);
+
+    let dir = std::path::Path::new("target").join("ssdrec-test");
+    std::fs::create_dir_all(&dir).expect("test dir");
+    let path = dir.join(format!("loss_path_identity_{tag}.ssdt"));
+    save_params(model.store(), &path).expect("save checkpoint");
+    let ckpt = std::fs::read(&path).expect("read checkpoint");
+    let _ = std::fs::remove_file(&path);
+
+    (
+        report.final_loss.to_bits(),
+        report.test.hr10.to_bits(),
+        report.test.ndcg10.to_bits(),
+        ckpt,
+    )
+}
+
+/// The two newest loss paths — the contrastive joint CE + InfoNCE loss
+/// (whose per-example view RNG must be immune to batch sharding) and the
+/// multi-granularity weakly supervised loss — run through the full matrix:
+/// backend × {1, 2, 7} threads × pooled-vs-fresh allocation, with the
+/// checkpoint bytes additionally pinned across backends.
+#[test]
+fn new_loss_paths_are_bit_identical_across_matrix() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let was = pool::is_enabled();
+    let dims = || {
+        let raw = SyntheticConfig::sports()
+            .scaled(0.03)
+            .with_seed(7)
+            .generate();
+        let (dataset, _) = prepare(&raw, 50, 2);
+        (dataset.num_users, dataset.num_items)
+    };
+    let (num_users, num_items) = dims();
+
+    for scenario in ["cl", "mgsd"] {
+        let run = |tag: &str| -> (u32, u64, u64, Vec<u8>) {
+            if scenario == "cl" {
+                model_fingerprint(
+                    ContrastiveSeqRec::new(BackboneKind::SasRec, num_items, 8, 50, 7),
+                    tag,
+                )
+            } else {
+                model_fingerprint(Mgsd::new(num_users, num_items, 8, 50, 7), tag)
+            }
+        };
+        let mut cross: Option<(u32, u64, u64, Vec<u8>)> = None;
+        with_each_backend(|kind| {
+            let be = kind.name();
+            let mut reference: Option<(u32, u64, u64, Vec<u8>)> = None;
+            for &t in &THREAD_COUNTS {
+                ssdrec::runtime::set_threads(t);
+                pool::set_enabled(true);
+                let pooled = run(&format!("{scenario}_pooled_{be}_t{t}"));
+                pool::set_enabled(false);
+                let fresh = run(&format!("{scenario}_fresh_{be}_t{t}"));
+                assert_eq!(
+                    pooled, fresh,
+                    "{scenario}: pooled and fresh runs diverged at {t} threads ({be})"
+                );
+                match &reference {
+                    None => reference = Some(pooled),
+                    Some(want) => assert_eq!(
+                        &pooled, want,
+                        "{scenario}: output diverged at {t} threads ({be})"
+                    ),
+                }
+            }
+            let got = reference.take().unwrap();
+            match &cross {
+                None => cross = Some(got),
+                Some(want) => assert_eq!(
+                    &got, want,
+                    "{scenario}: output diverged between backends (at {be})"
+                ),
+            }
+        });
+    }
     pool::set_enabled(was);
     ssdrec::runtime::set_threads(1);
 }
